@@ -1,0 +1,57 @@
+"""Figure 12 — the four metrics vs density threshold rho.
+
+Paper: rho behaves like sigma — quality up, quantity down as it grows;
+CSD-PM keeps its advantage on #patterns and coverage; CSD-based
+approaches always beat ROI-based ones on sparsity and consistency.
+
+Bench sweep: rho in {0.0005, 0.001, 0.002, 0.004} m^-2 around the
+paper's 0.002 (our Den definition is documented in DESIGN.md §5).
+"""
+
+from repro.eval.experiments import sweep_parameter
+from repro.eval.reporting import series_table
+
+RHO_VALUES = [0.0005, 0.001, 0.002, 0.004]
+
+
+def run_sweep(workload, runner, bench_config):
+    return sweep_parameter(
+        workload, "rho", RHO_VALUES,
+        base_config=bench_config, runner=runner,
+    )
+
+
+def test_fig12_density_sweep(benchmark, workload, runner, bench_config):
+    results = benchmark.pedantic(
+        run_sweep, args=(workload, runner, bench_config),
+        rounds=1, iterations=1,
+    )
+
+    panels = {
+        "(a) #patterns": lambda m: float(m.n_patterns),
+        "(b) coverage": lambda m: float(m.coverage),
+        "(c) avg spatial sparsity": lambda m: m.mean_sparsity,
+        "(d) avg semantic consistency": lambda m: m.mean_consistency,
+    }
+    for title, extract in panels.items():
+        series = {
+            name: [extract(m) for m in metrics]
+            for name, metrics in results.items()
+        }
+        print(f"\nFigure 12{title} vs density rho")
+        print(series_table("rho", RHO_VALUES, series))
+
+    csd_pm = results["CSD-PM"]
+    # Quantity falls as rho rises (same trend as Figure 11a).
+    assert csd_pm[0].n_patterns >= csd_pm[-1].n_patterns
+    assert csd_pm[0].coverage >= csd_pm[-1].coverage
+    # Sparsity improves (falls) as rho rises for the PM extractor.
+    if csd_pm[-1].n_patterns:
+        assert csd_pm[-1].mean_sparsity <= csd_pm[0].mean_sparsity + 1e-9
+    # CSD beats ROI on consistency at every rho.
+    for i in range(len(RHO_VALUES)):
+        for extractor in ("PM", "SDBSCAN"):
+            csd = results[f"CSD-{extractor}"][i]
+            roi = results[f"ROI-{extractor}"][i]
+            if csd.n_patterns and roi.n_patterns:
+                assert csd.mean_consistency > roi.mean_consistency

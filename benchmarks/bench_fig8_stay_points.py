@@ -1,0 +1,54 @@
+"""Figure 8 — taxi stay points in Shanghai.
+
+Paper: 2.2e7 journeys; pick-up (red) and drop-off (blue) points are used
+as stay points directly; 20% of passengers are card-linked, which
+recovers long day trajectories with >= 3 stay points.  The bench
+regenerates the scaled corpus and reports the same structural facts.
+"""
+
+import numpy as np
+
+from repro.data.taxi import is_weekend
+from repro.eval.reporting import format_table
+
+
+def collect(workload):
+    taxi = workload.taxi
+    return {
+        "trips": len(taxi.trips),
+        "stay_points": len(taxi.stay_points()),
+        "linked_trajectories": len(taxi.linked_trajectories()),
+        "mining_trajectories": len(taxi.mining_trajectories()),
+    }
+
+
+def test_fig8_stay_points(benchmark, workload):
+    stats = benchmark.pedantic(
+        collect, args=(workload,), rounds=1, iterations=1
+    )
+    taxi = workload.taxi
+    durations = np.array([t.duration_s for t in taxi.trips]) / 60.0
+    anon = sum(1 for t in taxi.trips if t.passenger_id is None)
+    weekday = sum(1 for t in taxi.trips if not is_weekend(t.pickup.t))
+
+    rows = [
+        ("journeys", stats["trips"]),
+        ("stay points (pickup+dropoff)", stats["stay_points"]),
+        ("anonymous journeys", anon),
+        ("card-linked journeys", stats["trips"] - anon),
+        ("linked day trajectories (>=3 stays)", stats["linked_trajectories"]),
+        ("mining corpus trajectories", stats["mining_trajectories"]),
+        ("weekday journeys", weekday),
+        ("mean trip duration (min)", float(durations.mean())),
+        ("median trip duration (min)", float(np.median(durations))),
+    ]
+    print("\nFigure 8 — taxi corpus statistics (paper: 2.2e7 journeys)")
+    print(format_table(["statistic", "value"], rows))
+
+    # Shape assertions: the properties the pipeline depends on.
+    assert stats["stay_points"] == 2 * stats["trips"]
+    assert stats["linked_trajectories"] > 0
+    # Paper: average trip ~30 min (the delta_t = 15 min knee in Fig. 13).
+    assert 15.0 < durations.mean() < 45.0
+    # Paper: 20% card-linked passengers.
+    assert 0.5 < anon / stats["trips"] < 0.95

@@ -1,0 +1,48 @@
+"""Noise-robustness bench — Section 4.2's voting-robustness claim.
+
+Paper (qualitative): "this integral voting strategy enhances the
+robustness to GPS noise and errors" — e.g. stay points drifting onto
+the river between two semantic units must still resolve correctly.
+
+The bench perturbs every stay point with growing Gaussian noise plus
+10% urban-canyon outliers and compares the CSD voting recogniser
+against a nearest-POI lookup on the identical diagram.  Expected shape:
+both degrade with noise, voting degrades slower.
+"""
+
+from repro.eval.reporting import format_table
+from repro.eval.robustness import run_noise_sweep
+
+NOISE_LEVELS = (0.0, 10.0, 25.0, 50.0)
+
+
+def run(workload, runner):
+    return run_noise_sweep(workload, runner.csd, NOISE_LEVELS)
+
+
+def test_noise_robustness(benchmark, workload, runner):
+    points = benchmark.pedantic(
+        run, args=(workload, runner), rounds=1, iterations=1
+    )
+    rows = [
+        (p.noise_m, p.voting_rate, p.voting_accuracy,
+         p.nearest_rate, p.nearest_accuracy)
+        for p in points
+    ]
+    print("\nRobustness — recognition under GPS noise (+10% outliers)")
+    print(format_table(
+        ["noise sigma (m)", "vote rate", "vote acc",
+         "nearest rate", "nearest acc"],
+        rows,
+    ))
+
+    clean, worst = points[0], points[-1]
+    # Voting matches or beats nearest-POI at every noise level.
+    for p in points:
+        assert p.voting_accuracy >= p.nearest_accuracy - 0.005, p.noise_m
+    # Accuracy degrades with noise for the nearest-POI baseline, and
+    # voting loses less between clean and worst case.
+    assert worst.nearest_accuracy <= clean.nearest_accuracy
+    voting_loss = clean.voting_accuracy - worst.voting_accuracy
+    nearest_loss = clean.nearest_accuracy - worst.nearest_accuracy
+    assert voting_loss <= nearest_loss + 0.01

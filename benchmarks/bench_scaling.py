@@ -1,0 +1,76 @@
+"""Scalability bench — pipeline runtime vs corpus size.
+
+Not a paper figure (the paper reports no runtimes), but the number a
+downstream adopter asks first.  Runs the full CSD-PM pipeline at three
+corpus sizes on a fixed city and reports wall time per stage; asserts
+runtime grows sub-quadratically in the trajectory count (the grid index
+and per-pattern refinement keep the pipeline near-linear).
+"""
+
+import time
+
+from repro.core.config import CSDConfig, MiningConfig
+from repro.core.constructor import build_csd
+from repro.core.extraction import counterpart_cluster
+from repro.core.recognition import CSDRecognizer
+from repro.data.city import CityModel
+from repro.data.poi import POIGenerator
+from repro.data.taxi import ShanghaiTaxiSimulator
+from repro.eval.reporting import format_table
+
+PASSENGER_SCALES = [60, 120, 240]
+
+
+def run_at_scale(city, pois, n_passengers):
+    taxi = ShanghaiTaxiSimulator(city, seed=31).simulate(
+        n_passengers=n_passengers, days=7
+    )
+    trajectories = taxi.mining_trajectories()
+    stays = [sp for st in trajectories for sp in st.stay_points]
+    config = CSDConfig(alpha=0.7)
+    mining = MiningConfig(support=max(8, n_passengers // 12), rho=0.001)
+
+    t0 = time.perf_counter()
+    csd = build_csd(pois, stays, config, city.projection)
+    t1 = time.perf_counter()
+    recognized = CSDRecognizer(csd, config.r3sigma_m).recognize(trajectories)
+    t2 = time.perf_counter()
+    patterns = counterpart_cluster(recognized, mining, city.projection)
+    t3 = time.perf_counter()
+    return {
+        "trajectories": len(trajectories),
+        "build_s": t1 - t0,
+        "recognize_s": t2 - t1,
+        "extract_s": t3 - t2,
+        "total_s": t3 - t0,
+        "patterns": len(patterns),
+    }
+
+
+def test_scaling(benchmark):
+    city = CityModel.generate(extent_m=4_000.0, seed=29)
+    pois = POIGenerator(city, seed=30).generate(6_000)
+
+    def run_all():
+        return [run_at_scale(city, pois, n) for n in PASSENGER_SCALES]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        (n, r["trajectories"], r["build_s"], r["recognize_s"],
+         r["extract_s"], r["total_s"], r["patterns"])
+        for n, r in zip(PASSENGER_SCALES, results)
+    ]
+    print("\nScalability — CSD-PM pipeline wall time per stage (seconds)")
+    print(format_table(
+        ["passengers", "trajs", "build", "recognize", "extract",
+         "total", "#patterns"],
+        rows,
+    ))
+
+    # Sub-quadratic growth: 4x trajectories must cost < 16x time.
+    ratio_n = results[-1]["trajectories"] / results[0]["trajectories"]
+    ratio_t = results[-1]["total_s"] / max(results[0]["total_s"], 1e-9)
+    print(f"\ntrajectory ratio x{ratio_n:.1f} -> time ratio x{ratio_t:.1f}")
+    assert ratio_t < ratio_n ** 2
+    assert all(r["patterns"] > 0 for r in results)

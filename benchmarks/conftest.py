@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures: one workload, one runner, scaled parameters.
+
+The paper's evaluation ran on 2.2e7 taxi journeys and 1.2e6 POIs with
+sigma = 50, delta_t = 60 min, rho = 0.002 m^-2.  The bench workload is
+the laptop-scale stand-in (DESIGN.md section 3): a 6 km downtown slice,
+12k POIs, ~16k trajectories.  Support and density thresholds scale with
+corpus size, so the default bench configuration uses sigma = 20 and
+rho = 0.001 with our Den definition (see EXPERIMENTS.md, calibration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MiningConfig
+from repro.eval.experiments import ApproachRunner, make_workload
+
+#: Scaled defaults used by every figure bench (the paper's sigma=50,
+#: delta_t=60 min, rho=0.002 at 1000x our corpus size).
+BENCH_SUPPORT = 20
+BENCH_DELTA_T_S = 3600.0
+BENCH_RHO = 0.001
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return make_workload(n_pois=12_000, n_passengers=250, days=7)
+
+
+@pytest.fixture(scope="session")
+def runner(workload):
+    return ApproachRunner(workload)
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return MiningConfig(
+        support=BENCH_SUPPORT, delta_t_s=BENCH_DELTA_T_S, rho=BENCH_RHO
+    )

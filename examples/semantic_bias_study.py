@@ -1,0 +1,83 @@
+"""Semantic bias: what check-ins hide and raw GPS mining reveals.
+
+The paper's Table 1 / Figure 14(h) argument: check-in corpora
+under-report private activities (hospital visits almost never surface),
+while mining raw taxi trajectories with the CSD recovers them.
+
+This example runs both sides:
+
+1. the biased check-in simulator for New York — hospital share collapses
+   between ground truth and the observed ranking;
+2. the Pervasive Miner on raw taxi data of a city with a children's
+   hospital — Medical Service patterns surface with healthy support.
+
+Run:  python examples/semantic_bias_study.py
+"""
+
+from repro import (
+    CityModel,
+    CSDConfig,
+    MiningConfig,
+    POIGenerator,
+    PervasiveMiner,
+    ShanghaiTaxiSimulator,
+)
+from repro.data.checkins import NEW_YORK, CheckinSimulator
+
+
+def checkin_side() -> None:
+    study = CheckinSimulator(NEW_YORK, seed=41).run(200_000)
+    print("Check-in corpus (New York profile, 200k activities):")
+    print(f"  observed check-ins: {study.n_checkins}")
+    print("  top-5 observed topics:")
+    for topic, ratio in study.top_topics(5):
+        print(f"    {topic:16s} {ratio * 100:5.2f}%")
+    truth = study.truth_ratio["Hospital"] * 100
+    observed = study.observed_ratio["Hospital"] * 100
+    print(
+        f"  Hospital: {truth:.2f}% of real activity but only "
+        f"{observed:.3f}% of check-ins "
+        f"(suppression x{study.bias_of('Hospital'):.3f})"
+    )
+
+
+def gps_side() -> None:
+    city = CityModel.generate(extent_m=5_000.0, seed=31)
+    pois = POIGenerator(city, seed=37).generate(_scaled(8_000))
+    taxi = ShanghaiTaxiSimulator(city, seed=43).simulate(
+        n_passengers=_scaled(220), days=7
+    )
+    miner = PervasiveMiner(
+        CSDConfig(alpha=0.7), MiningConfig(support=10, rho=0.001)
+    )
+    result = miner.mine(pois, taxi.mining_trajectories())
+
+    medical = [
+        p for p in result.patterns if "Medical Service" in p.items
+    ]
+    print("\nRaw-GPS mining (Pervasive Miner on taxi journeys):")
+    print(f"  {result.n_patterns} patterns total, "
+          f"{len(medical)} involving Medical Service:")
+    for p in sorted(medical, key=lambda p: -p.support)[:5]:
+        print(f"    {' -> '.join(p.items):50s} support={p.support}")
+    if medical:
+        print("  -> hospital demand is visible in ubiquitous GPS data "
+              "even though check-ins hide it (the Semantic Bias win).")
+
+
+def _scaled(value: int) -> int:
+    """Shrink workload sizes when REPRO_QUICK is set (CI smoke runs)."""
+    import os
+
+    if os.environ.get("REPRO_QUICK"):
+        return max(value // 5, 10)
+    return value
+
+
+def main() -> None:
+    checkin_side()
+    gps_side()
+
+
+if __name__ == "__main__":
+    main()

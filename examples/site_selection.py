@@ -1,0 +1,78 @@
+"""Business intelligence: rank commercial sites by inbound demand.
+
+The paper's first motivating application: patterns such as
+Residence -> Shop estimate the purchasing power flowing into each
+commercial centre, "valuable for site selection of new shops".
+
+This example mines the fine-grained patterns, keeps those terminating
+in a Shop & Market stop, aggregates their coverage per destination
+venue, and prints a ranked site table with the residential catchment
+each site draws from.
+
+Run:  python examples/site_selection.py
+"""
+
+from collections import defaultdict
+
+from repro import (
+    CityModel,
+    CSDConfig,
+    MiningConfig,
+    POIGenerator,
+    PervasiveMiner,
+    ShanghaiTaxiSimulator,
+)
+
+TARGET = "Shop & Market"
+
+
+def _scaled(value: int) -> int:
+    """Shrink workload sizes when REPRO_QUICK is set (CI smoke runs)."""
+    import os
+
+    if os.environ.get("REPRO_QUICK"):
+        return max(value // 5, 10)
+    return value
+
+
+def main() -> None:
+    city = CityModel.generate(extent_m=5_000.0, seed=3)
+    pois = POIGenerator(city, seed=5).generate(_scaled(8_000))
+    taxi = ShanghaiTaxiSimulator(city, seed=9).simulate(
+        n_passengers=_scaled(200), days=7
+    )
+    miner = PervasiveMiner(
+        CSDConfig(alpha=0.7), MiningConfig(support=12, rho=0.001)
+    )
+    result = miner.mine(pois, taxi.mining_trajectories())
+    proj = result.csd.projection
+
+    # Inbound shopping demand per destination site (rounded to 100 m).
+    demand = defaultdict(lambda: {"coverage": 0, "sources": set()})
+    for pattern in result.patterns:
+        for k, tag in enumerate(pattern.items):
+            if tag != TARGET or k == 0:
+                continue
+            rep = pattern.representatives[k]
+            x, y = proj.to_meters(rep.lon, rep.lat)
+            site = (round(x / 100) * 100, round(y / 100) * 100)
+            demand[site]["coverage"] += pattern.support
+            demand[site]["sources"].add(pattern.items[k - 1])
+
+    ranked = sorted(demand.items(), key=lambda kv: -kv[1]["coverage"])
+    print(f"Found {result.n_patterns} patterns; "
+          f"{len(ranked)} distinct {TARGET} destination sites\n")
+    print(f"{'site (m east, m north)':24s} {'demand':>7s}  inbound from")
+    for site, info in ranked[:10]:
+        sources = ", ".join(sorted(info["sources"]))
+        print(f"{str(site):24s} {info['coverage']:7d}  {sources}")
+
+    if ranked:
+        top = ranked[0]
+        print(f"\nRecommendation: the catchment around {top[0]} attracts "
+              f"{top[1]['coverage']} pattern-supported trips — the "
+              "strongest candidate area for a new outlet.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Competitor implementations (Section 5's five baselines).
+
+The paper compares CSD-PM against five combinations of two semantic
+recognizers and three pattern extractors:
+
+- recognizers: **CSD** (this project's core) and **ROI** — the hot-region
+  hybrid of Chen et al. [21];
+- extractors: **PM** (Algorithm 4), **Splitter** (Zhang et al. [17],
+  PrefixSpan + top-down Mean Shift) and **SDBSCAN** (Jiang et al. [19],
+  PrefixSpan + DBSCAN refinement).
+
+:mod:`repro.baselines.registry` wires the 2 x 3 grid into named
+approaches (``CSD-PM``, ``ROI-Splitter``, ...).
+"""
+
+from repro.baselines.roi import ROIRecognizer
+from repro.baselines.registry import APPROACHES, Approach, run_approach
+from repro.baselines.sdbscan import sdbscan_extract
+from repro.baselines.splitter import splitter_extract
+
+__all__ = [
+    "APPROACHES",
+    "Approach",
+    "ROIRecognizer",
+    "run_approach",
+    "sdbscan_extract",
+    "splitter_extract",
+]

@@ -1,0 +1,255 @@
+"""Command-line interface for the Pervasive Miner reproduction.
+
+Subcommands cover the release workflow end to end:
+
+- ``repro simulate``  — generate a synthetic city, POIs and taxi corpus
+  to CSV files;
+- ``repro build-csd`` — construct the City Semantic Diagram from those
+  files and export it as GeoJSON;
+- ``repro mine``      — run one of the six approaches and export the
+  fine-grained patterns (GeoJSON + summary CSV);
+- ``repro evaluate``  — run all six approaches and print the Section 5
+  metric table;
+- ``repro checkins``  — regenerate the Table 1 semantic-bias study.
+
+All state flows through files, so each step is resumable and the
+pipeline works on real data dropped into the same CSV formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.baselines.registry import APPROACHES, approach_by_name, run_approach
+from repro.core.config import CSDConfig, MiningConfig
+from repro.core.constructor import build_csd
+from repro.core.patterns import summarize
+from repro.data.checkins import PROFILES, CheckinSimulator
+from repro.data.city import CityModel
+from repro.data.geojson import (
+    csd_to_geojson,
+    patterns_to_geojson,
+    write_geojson,
+)
+from repro.data.io import read_pois, read_trips, write_pois, write_trips
+from repro.data.persistence import load_csd, save_csd
+from repro.viz.svg import render_csd_svg, render_patterns_svg, save_svg
+from repro.data.poi import POIGenerator
+from repro.data.taxi import ShanghaiTaxiSimulator, trips_to_mining_trajectories
+from repro.data.trajectory import SemanticTrajectory
+from repro.eval.metrics import summarize_patterns
+from repro.eval.reporting import format_table
+from repro.geo.projection import LocalProjection
+
+
+def _add_mining_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--support", type=int, default=20,
+                        help="sigma, minimum supporting trajectories")
+    parser.add_argument("--delta-t-min", type=float, default=60.0,
+                        help="temporal constraint in minutes")
+    parser.add_argument("--rho", type=float, default=0.001,
+                        help="density threshold, points per m^2")
+    parser.add_argument("--alpha", type=float, default=0.7,
+                        help="Algorithm 1 popularity-ratio threshold")
+
+
+def _mining_config(args: argparse.Namespace) -> MiningConfig:
+    return MiningConfig(
+        support=args.support,
+        delta_t_s=args.delta_t_min * 60.0,
+        rho=args.rho,
+    )
+
+
+def _trips_to_trajectories(trips) -> List[SemanticTrajectory]:
+    return trips_to_mining_trajectories(trips)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """``repro simulate``: write a synthetic POI + trip workload."""
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    city = CityModel.generate(extent_m=args.extent_m, seed=args.seed)
+    pois = POIGenerator(city, seed=args.seed + 4).generate(args.pois)
+    taxi = ShanghaiTaxiSimulator(city, seed=args.seed + 16).simulate(
+        n_passengers=args.passengers, days=args.days
+    )
+    write_pois(out / "pois.csv", pois)
+    write_trips(out / "trips.csv", taxi.trips)
+    print(f"wrote {len(pois)} POIs -> {out / 'pois.csv'}")
+    print(f"wrote {len(taxi.trips)} trips -> {out / 'trips.csv'}")
+    return 0
+
+
+def cmd_build_csd(args: argparse.Namespace) -> int:
+    """``repro build-csd``: construct, report, and export the CSD."""
+    pois = read_pois(args.pois)
+    trips = read_trips(args.trips)
+    trajectories = _trips_to_trajectories(trips)
+    stays = [sp for st in trajectories for sp in st.stay_points]
+    csd = build_csd(pois, stays, CSDConfig(alpha=args.alpha))
+    stats = csd.describe()
+    print(format_table(["statistic", "value"], list(stats.items())))
+    if args.geojson:
+        write_geojson(args.geojson, csd_to_geojson(csd))
+        print(f"wrote CSD -> {args.geojson}")
+    if args.svg:
+        save_svg(args.svg, render_csd_svg(csd))
+        print(f"wrote CSD map -> {args.svg}")
+    if args.save:
+        save_csd(args.save, csd)
+        print(f"saved diagram -> {args.save}")
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    """``repro mine``: run one approach and export its patterns."""
+    try:
+        approach = approach_by_name(args.approach)
+    except KeyError:
+        names = ", ".join(a.name for a in APPROACHES)
+        print(f"unknown approach {args.approach!r}; choose from: {names}",
+              file=sys.stderr)
+        return 2
+    pois = read_pois(args.pois)
+    trips = read_trips(args.trips)
+    trajectories = _trips_to_trajectories(trips)
+    csd = load_csd(args.load_csd) if args.load_csd else None
+    patterns = run_approach(
+        approach, pois, trajectories,
+        CSDConfig(alpha=args.alpha), _mining_config(args), csd=csd,
+    )
+    lonlat = [(p.lon, p.lat) for p in pois]
+    projection = LocalProjection.for_points(lonlat)
+    rows = summarize(patterns, projection)
+    print(f"{approach.name}: {len(patterns)} patterns, "
+          f"coverage {sum(p.support for p in patterns)}")
+    print(format_table(
+        ["route", "support", "len", "bucket", "span_m"],
+        [(r.route, r.support, r.length, r.bucket, round(r.span_m)) for r in rows[:20]],
+    ))
+    if args.geojson:
+        write_geojson(args.geojson, patterns_to_geojson(patterns))
+        print(f"wrote patterns -> {args.geojson}")
+    if args.svg and patterns:
+        save_svg(args.svg, render_patterns_svg(patterns, projection))
+        print(f"wrote pattern map -> {args.svg}")
+    if args.csv:
+        with open(args.csv, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(
+                ["route", "support", "length", "bucket",
+                 "start_lon", "start_lat", "end_lon", "end_lat", "span_m"]
+            )
+            for r in rows:
+                writer.writerow([
+                    r.route, r.support, r.length, r.bucket,
+                    r.start_lonlat[0], r.start_lonlat[1],
+                    r.end_lonlat[0], r.end_lonlat[1], r.span_m,
+                ])
+        print(f"wrote summary -> {args.csv}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """``repro evaluate``: the Section 5 metric table, all approaches."""
+    pois = read_pois(args.pois)
+    trips = read_trips(args.trips)
+    trajectories = _trips_to_trajectories(trips)
+    lonlat = [(p.lon, p.lat) for p in pois]
+    projection = LocalProjection.for_points(lonlat)
+    csd_config = CSDConfig(alpha=args.alpha)
+    mining_config = _mining_config(args)
+
+    rows = []
+    for approach in APPROACHES:
+        patterns = run_approach(
+            approach, pois, trajectories, csd_config, mining_config
+        )
+        metrics = summarize_patterns(approach.name, patterns, projection)
+        rows.append(metrics.as_row())
+    print(format_table(
+        ["approach", "#patterns", "coverage", "avg sparsity", "avg consistency"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_checkins(args: argparse.Namespace) -> int:
+    """``repro checkins``: regenerate the Table 1 bias study."""
+    for name, profile in PROFILES.items():
+        study = CheckinSimulator(profile, seed=args.seed).run(args.activities)
+        print(f"\n{name} — top {args.top} observed topics "
+              f"({study.n_checkins} check-ins):")
+        rows = [
+            (topic, f"{ratio * 100:.2f}%")
+            for topic, ratio in study.top_topics(args.top)
+        ]
+        print(format_table(["topic", "ratio"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pervasive Miner / City Semantic Diagram reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="generate a synthetic workload")
+    p.add_argument("--out", default="data", help="output directory")
+    p.add_argument("--extent-m", type=float, default=6_000.0)
+    p.add_argument("--pois", type=int, default=12_000)
+    p.add_argument("--passengers", type=int, default=250)
+    p.add_argument("--days", type=int, default=7)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("build-csd", help="construct the CSD from CSVs")
+    p.add_argument("--pois", required=True)
+    p.add_argument("--trips", required=True)
+    p.add_argument("--alpha", type=float, default=0.7)
+    p.add_argument("--geojson", help="write unit polygons here")
+    p.add_argument("--svg", help="write the Figure 6 map here")
+    p.add_argument("--save", help="persist the diagram (JSON) here")
+    p.set_defaults(func=cmd_build_csd)
+
+    p = sub.add_parser("mine", help="run one approach end to end")
+    p.add_argument("--pois", required=True)
+    p.add_argument("--trips", required=True)
+    p.add_argument("--approach", default="CSD-PM")
+    _add_mining_args(p)
+    p.add_argument("--geojson", help="write pattern lines here")
+    p.add_argument("--svg", help="write the Figure 14 map here")
+    p.add_argument("--csv", help="write a pattern summary table here")
+    p.add_argument("--load-csd", help="reuse a diagram saved by build-csd")
+    p.set_defaults(func=cmd_mine)
+
+    p = sub.add_parser("evaluate", help="run all six approaches")
+    p.add_argument("--pois", required=True)
+    p.add_argument("--trips", required=True)
+    _add_mining_args(p)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("checkins", help="Table 1 semantic-bias study")
+    p.add_argument("--activities", type=int, default=200_000)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--seed", type=int, default=13)
+    p.set_defaults(func=cmd_checkins)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

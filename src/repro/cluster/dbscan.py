@@ -1,0 +1,82 @@
+"""DBSCAN over 2-D metre coordinates, backed by the grid index.
+
+Classic Ester et al. formulation: a *core point* has at least
+``min_pts`` neighbours (itself included) within ``eps``; clusters grow
+by expanding density-reachable points; border points join the first
+cluster that reaches them; everything else is noise (label ``-1``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.geo.index import GridIndex
+
+NOISE = -1
+_UNVISITED = -2
+
+
+def dbscan(
+    xy: np.ndarray,
+    eps: float,
+    min_pts: int,
+    index: Optional[GridIndex] = None,
+) -> np.ndarray:
+    """Cluster points; returns labels with ``-1`` for noise.
+
+    Parameters
+    ----------
+    xy:
+        ``(n, 2)`` metre coordinates.
+    eps:
+        Neighbourhood radius in metres.
+    min_pts:
+        Minimum neighbourhood size (including the point itself) for a
+        core point.
+    index:
+        Optional pre-built :class:`GridIndex` over exactly ``xy``;
+        built on the fly when omitted.
+    """
+    pts = np.asarray(xy, dtype=float).reshape(-1, 2)
+    n = len(pts)
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    if min_pts < 1:
+        raise ValueError("min_pts must be at least 1")
+    labels = np.full(n, _UNVISITED, dtype=int)
+    if n == 0:
+        return labels
+    if index is None:
+        index = GridIndex(pts, cell_size=max(eps, 1e-9))
+    if len(index) != n:
+        raise ValueError("index must cover exactly the points being clustered")
+
+    cluster_id = 0
+    for i in range(n):
+        if labels[i] != _UNVISITED:
+            continue
+        neighbours = index.query_radius(pts[i, 0], pts[i, 1], eps)
+        if len(neighbours) < min_pts:
+            labels[i] = NOISE
+            continue
+        labels[i] = cluster_id
+        queue = deque(int(j) for j in neighbours if j != i)
+        while queue:
+            j = queue.popleft()
+            if labels[j] == NOISE:
+                labels[j] = cluster_id  # border point
+            if labels[j] != _UNVISITED:
+                continue
+            labels[j] = cluster_id
+            j_neighbours = index.query_radius(pts[j, 0], pts[j, 1], eps)
+            if len(j_neighbours) >= min_pts:
+                queue.extend(
+                    int(k) for k in j_neighbours if labels[k] == _UNVISITED
+                )
+        cluster_id += 1
+
+    labels[labels == _UNVISITED] = NOISE
+    return labels

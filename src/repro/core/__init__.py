@@ -1,0 +1,47 @@
+"""Pervasive Miner core: City Semantic Diagram and fine-grained mining.
+
+Public entry points:
+
+- :class:`~repro.core.config.CSDConfig`, :class:`~repro.core.config.MiningConfig`
+- :func:`~repro.core.constructor.build_csd` — Section 4.1 (Algorithms 1-2
+  plus unit merging)
+- :class:`~repro.core.csd.CitySemanticDiagram`
+- :class:`~repro.core.recognition.CSDRecognizer` — Section 4.2 (Algorithm 3)
+- :func:`~repro.core.extraction.counterpart_cluster` — Section 4.3
+  (Algorithm 4)
+- :class:`~repro.core.miner.PervasiveMiner` — the end-to-end facade
+"""
+
+from repro.core.config import CSDConfig, MiningConfig
+from repro.core.constructor import build_csd
+from repro.core.csd import CitySemanticDiagram, SemanticUnit
+from repro.core.containment import (
+    contains,
+    counterpart,
+    group_of,
+    reachable_contains,
+)
+from repro.core.extraction import FineGrainedPattern, counterpart_cluster
+from repro.core.miner import PervasiveMiner, MiningResult
+from repro.core.popularity import compute_popularity
+from repro.core.recognition import CSDRecognizer
+from repro.core.staypoints import detect_stay_points
+
+__all__ = [
+    "CSDConfig",
+    "CitySemanticDiagram",
+    "CSDRecognizer",
+    "FineGrainedPattern",
+    "MiningConfig",
+    "MiningResult",
+    "PervasiveMiner",
+    "SemanticUnit",
+    "build_csd",
+    "compute_popularity",
+    "contains",
+    "counterpart",
+    "counterpart_cluster",
+    "detect_stay_points",
+    "group_of",
+    "reachable_contains",
+]

@@ -1,0 +1,90 @@
+"""Parameter dataclasses with the paper's published defaults.
+
+Section 4.1: "we set R_3sigma = 100m, the vertical overlapping distance
+threshold d_v = 15m, MinPts_p = 5, eps_p = 30m and alpha = 0.8"; the
+merge cosine threshold is 0.9 (Section 4.1, merging step).  Section 5:
+"we set sigma = 50, delta_t = 60 mins and rho = 0.002 m^-2".
+
+``V_min`` (Definition 3's spatial-variance bound) is never published;
+we default to 300 m^2 (~17 m standard deviation), tight enough that a
+whole plaza cluster does not auto-qualify while a skyscraper stack does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CSDConfig:
+    """Parameters of CSD construction and semantic recognition."""
+
+    r3sigma_m: float = 100.0        # Gaussian 3-sigma radius (Eq. 2-3, Alg. 3)
+    d_v_m: float = 15.0             # vertical overlap distance (Alg. 1 line 6)
+    min_pts: int = 5                # MinPts_p (Alg. 1 line 9)
+    eps_p_m: float = 30.0           # search radius (Alg. 1 line 3)
+    alpha: float = 0.8              # popularity ratio threshold (Alg. 1 line 5)
+    v_min_m2: float = 300.0         # spatial variance bound (Def. 3 / Alg. 2)
+    merge_cos: float = 0.9          # unit-merge cosine threshold (Eq. 8)
+    merge_radius_m: float = 30.0    # "nearby" for unit merging
+    #: Additive smoothing of the Algorithm 1 popularity-ratio test; one
+    #: distant stay point contributes ~1e-5, so 1e-3 only defuses the
+    #: ratio where both POIs are essentially unvisited.
+    pop_epsilon: float = 1e-3
+    #: Semantic granularity: ``"major"`` (15 categories, the paper's
+    #: evaluation level) or ``"minor"`` (98 categories — patterns like
+    #: ``Residence -> Noodle House``).  Finer tags need denser POIs per
+    #: venue before Algorithm 1's MinPts holds within one minor type.
+    semantic_level: str = "major"
+
+    def __post_init__(self) -> None:
+        if self.r3sigma_m <= 0 or self.eps_p_m <= 0 or self.merge_radius_m <= 0:
+            raise ValueError("radii must be positive")
+        if self.d_v_m < 0 or self.v_min_m2 < 0:
+            raise ValueError("d_v and V_min must be non-negative")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 <= self.merge_cos <= 1.0:
+            raise ValueError("merge_cos must be in [0, 1]")
+        if self.min_pts < 1:
+            raise ValueError("min_pts must be at least 1")
+        if self.semantic_level not in ("major", "minor"):
+            raise ValueError("semantic_level must be 'major' or 'minor'")
+
+
+@dataclass(frozen=True)
+class MiningConfig:
+    """Parameters of pattern extraction (Algorithm 4 / Definition 11)."""
+
+    support: int = 50               # sigma, minimum supporting trajectories
+    delta_t_s: float = 3600.0       # temporal constraint, seconds
+    rho: float = 0.002              # density threshold, points per m^2
+    eps_t_m: float = 100.0          # location proximity for containment (Def. 7)
+    min_length: int = 2             # shortest pattern to report
+    max_length: int = 5             # PrefixSpan recursion bound
+    optics_max_eps_m: float = 1_000.0  # OPTICS default maximum distance
+    #: eps' = factor x median finite reachability (self-tuning cut of
+    #: Algorithm 4's OPTICS step).
+    optics_threshold_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.support < 1:
+            raise ValueError("support must be at least 1")
+        if self.delta_t_s <= 0 or self.eps_t_m <= 0 or self.optics_max_eps_m <= 0:
+            raise ValueError("temporal/spatial bounds must be positive")
+        if self.rho < 0:
+            raise ValueError("rho must be non-negative")
+        if self.min_length < 1 or self.max_length < self.min_length:
+            raise ValueError("need 1 <= min_length <= max_length")
+
+
+@dataclass(frozen=True)
+class StayPointConfig:
+    """Definition 5 thresholds for stay-point detection on dense tracks."""
+
+    theta_d_m: float = 200.0        # spatial bound of a stay
+    theta_t_s: float = 1200.0       # minimum dwell duration (20 min)
+
+    def __post_init__(self) -> None:
+        if self.theta_d_m <= 0 or self.theta_t_s <= 0:
+            raise ValueError("stay-point thresholds must be positive")

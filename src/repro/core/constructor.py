@@ -1,0 +1,167 @@
+"""Semantic Diagram Constructor (Section 4.1).
+
+Three steps build the City Semantic Diagram from a POI dataset and the
+corpus of stay points:
+
+1. :func:`popularity_based_clustering` — Algorithm 1;
+2. :func:`~repro.core.purification.purify` — Algorithm 2;
+3. :func:`~repro.core.merging.merge_units` — cosine-similarity merging.
+
+:func:`build_csd` chains all three and returns a
+:class:`~repro.core.csd.CitySemanticDiagram`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import CSDConfig
+from repro.core.csd import UNASSIGNED, CitySemanticDiagram, SemanticUnit, project_pois
+from repro.core.merging import merge_units, unit_distribution
+from repro.core.popularity import compute_popularity
+from repro.core.purification import purify
+from repro.data.poi import POI
+from repro.data.trajectory import StayPoint
+from repro.geo.index import GridIndex
+from repro.geo.projection import LocalProjection
+
+
+def popularity_based_clustering(
+    poi_xy: np.ndarray,
+    poi_tags: Sequence[str],
+    popularity: np.ndarray,
+    config: CSDConfig,
+) -> Tuple[List[List[int]], List[int]]:
+    """Algorithm 1: coarse clusters of similar-popularity POIs.
+
+    Expansion is anchored at the seed POI: a candidate joins when its
+    popularity is within the ``alpha`` ratio band of the seed's and it is
+    either vertically stacked with the seed (``d <= d_v``, the
+    multi-purpose-skyscraper branch) or shares the seed's semantics.
+    Returns ``(clusters, leftovers)`` where clusters of fewer than
+    ``MinPts_p`` members are dissolved back into leftovers.
+    """
+    pts = np.asarray(poi_xy, dtype=float).reshape(-1, 2)
+    n = len(pts)
+    tags = list(poi_tags)
+    pop = np.asarray(popularity, dtype=float)
+    if len(tags) != n or len(pop) != n:
+        raise ValueError("poi arrays must align")
+
+    index = GridIndex(pts, cell_size=max(config.eps_p_m, 1.0))
+    remaining = np.ones(n, dtype=bool)
+    clusters: List[List[int]] = []
+    leftovers: List[int] = []
+
+    for seed in range(n):
+        if not remaining[seed]:
+            continue
+        remaining[seed] = False
+        cluster = [seed]
+        seed_pop = pop[seed]
+        seed_tag = tags[seed]
+        sx, sy = pts[seed]
+        queue = deque(
+            int(j)
+            for j in index.query_radius(sx, sy, config.eps_p_m)
+            if remaining[j]
+        )
+        queued = set(queue)
+        while queue:
+            j = queue.popleft()
+            if not remaining[j]:
+                continue
+            if not _popularity_compatible(
+                seed_pop, pop[j], config.alpha, config.pop_epsilon
+            ):
+                continue
+            d2 = (pts[j, 0] - sx) ** 2 + (pts[j, 1] - sy) ** 2
+            if d2 > config.d_v_m ** 2 and tags[j] != seed_tag:
+                continue
+            remaining[j] = False
+            cluster.append(j)
+            for k in index.query_radius(pts[j, 0], pts[j, 1], config.eps_p_m):
+                k = int(k)
+                if remaining[k] and k not in queued:
+                    queued.add(k)
+                    queue.append(k)
+        if len(cluster) >= config.min_pts:
+            clusters.append(sorted(cluster))
+        else:
+            leftovers.extend(cluster)
+
+    leftovers.extend(int(i) for i in np.flatnonzero(remaining))
+    return clusters, sorted(leftovers)
+
+
+def _popularity_compatible(
+    pop_a: float, pop_b: float, alpha: float, epsilon: float
+) -> bool:
+    """Two-sided ratio test of Algorithm 1 line 5, smoothed near zero.
+
+    ``epsilon`` keeps the test meaningful for barely-visited POIs where
+    the raw ratio of two tiny popularities is pure noise.
+    """
+    hi = max(pop_a, pop_b) + epsilon
+    lo = min(pop_a, pop_b) + epsilon
+    return lo / hi >= alpha
+
+
+def build_csd(
+    pois: Sequence[POI],
+    stay_points: Sequence[StayPoint],
+    config: Optional[CSDConfig] = None,
+    projection: Optional[LocalProjection] = None,
+) -> CitySemanticDiagram:
+    """Run the full Semantic Diagram Constructor.
+
+    ``stay_points`` is the whole corpus of pick-up/drop-off events; it
+    only feeds the popularity model (Eq. 3), not the mining itself.
+    """
+    config = config or CSDConfig()
+    projection, poi_xy = project_pois(pois, projection)
+    stay_lonlat = np.array(
+        [[sp.lon, sp.lat] for sp in stay_points], dtype=float
+    ).reshape(-1, 2)
+    stay_xy = projection.to_meters_array(stay_lonlat)
+    popularity = compute_popularity(poi_xy, stay_xy, config.r3sigma_m)
+    if config.semantic_level == "major":
+        tags = [p.major for p in pois]
+    else:
+        tags = [p.minor for p in pois]
+
+    coarse, leftovers = popularity_based_clustering(
+        poi_xy, tags, popularity, config
+    )
+    pure = purify(coarse, poi_xy, tags, config.v_min_m2, config.r3sigma_m)
+    final = merge_units(
+        pure,
+        leftovers,
+        poi_xy,
+        tags,
+        popularity,
+        config.merge_cos,
+        config.merge_radius_m,
+    )
+
+    unit_of = np.full(len(pois), UNASSIGNED, dtype=int)
+    units: List[SemanticUnit] = []
+    for unit_id, members in enumerate(final):
+        for i in members:
+            unit_of[i] = unit_id
+        xy = poi_xy[members]
+        units.append(
+            SemanticUnit(
+                unit_id=unit_id,
+                poi_indices=list(members),
+                centroid_xy=(float(xy[:, 0].mean()), float(xy[:, 1].mean())),
+                semantic_distribution=unit_distribution(members, tags, popularity),
+            )
+        )
+    return CitySemanticDiagram(
+        pois, projection, poi_xy, popularity, units, unit_of,
+        tag_level=config.semantic_level,
+    )

@@ -1,0 +1,193 @@
+"""Incremental maintenance of a City Semantic Diagram.
+
+The introduction notes that "with the help of User Generated Contents,
+the number of POIs is growing rapidly" — a deployed diagram must absorb
+new POIs without the full reconstruction cost.  The updater implements
+the cheap online step plus a staleness signal for when to rebuild:
+
+- a new POI joins the nearest existing unit when it is within the merge
+  radius and semantically compatible with the unit's distribution
+  (the same cosine rule as the offline merging step);
+- otherwise it is tracked as *pending*: Algorithm 1 may only cluster it
+  on the next full rebuild;
+- :meth:`staleness` reports the pending fraction so callers can
+  schedule that rebuild.
+
+The updater never mutates the input diagram; :meth:`diagram` returns a
+fresh :class:`CitySemanticDiagram` view after each batch.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.csd import UNASSIGNED, CitySemanticDiagram, SemanticUnit
+from repro.core.merging import cosine_similarity, unit_distribution
+from repro.data.poi import POI
+
+
+class IncrementalCSD:
+    """Absorbs new POIs into an existing diagram between rebuilds.
+
+    Parameters
+    ----------
+    base:
+        The offline-built diagram to extend.
+    merge_radius_m / merge_cos:
+        The offline merging thresholds; a new POI joins a unit only
+        when it would also have merged offline.
+    """
+
+    def __init__(
+        self,
+        base: CitySemanticDiagram,
+        merge_radius_m: float = 30.0,
+        merge_cos: float = 0.9,
+    ) -> None:
+        if merge_radius_m <= 0:
+            raise ValueError("merge_radius_m must be positive")
+        if not 0.0 <= merge_cos <= 1.0:
+            raise ValueError("merge_cos must be in [0, 1]")
+        self.base = base
+        self.merge_radius_m = merge_radius_m
+        self.merge_cos = merge_cos
+        # Working copies (the base diagram stays untouched).
+        self._pois: List[POI] = list(base.pois)
+        self._xy = base.poi_xy.copy()
+        self._popularity = base.popularity.copy()
+        self._unit_of = base.unit_of.copy()
+        self._members: List[List[int]] = [
+            list(u.poi_indices) for u in base.units
+        ]
+        self._n_added = 0
+        self._n_pending = 0
+        # Mutable spatial buckets (GridIndex is immutable by design).
+        self._cell = max(merge_radius_m, 1.0)
+        self._buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for i, (x, y) in enumerate(self._xy):
+            self._buckets[self._key(x, y)].append(i)
+
+    def _key(self, x: float, y: float) -> Tuple[int, int]:
+        return int(np.floor(x / self._cell)), int(np.floor(y / self._cell))
+
+    def _neighbours(self, x: float, y: float) -> List[int]:
+        """Indices within ``merge_radius_m`` of ``(x, y)``."""
+        cx, cy = self._key(x, y)
+        out = []
+        r2 = self.merge_radius_m ** 2
+        for gx in range(cx - 1, cx + 2):
+            for gy in range(cy - 1, cy + 2):
+                for i in self._buckets.get((gx, gy), ()):
+                    if ((self._xy[i] - (x, y)) ** 2).sum() <= r2:
+                        out.append(i)
+        return out
+
+    # -- updates ---------------------------------------------------------
+
+    def _tag(self, poi: POI) -> str:
+        return poi.major if self.base.tag_level == "major" else poi.minor
+
+    def add_poi(self, poi: POI, popularity: float = 0.0) -> int:
+        """Insert one POI; returns its unit id or ``UNASSIGNED``.
+
+        ``popularity`` is the caller's estimate (0 for a brand-new
+        venue; it only matters for future distribution updates).
+        """
+        x, y = self.base.projection.to_meters(poi.lon, poi.lat)
+        new_index = len(self._pois)
+        self._pois.append(poi)
+        self._xy = np.vstack([self._xy, [[x, y]]])
+        self._popularity = np.append(self._popularity, popularity)
+        self._n_added += 1
+
+        unit_id = self._find_compatible_unit(x, y, self._tag(poi))
+        self._buckets[self._key(x, y)].append(new_index)
+        if unit_id == UNASSIGNED:
+            self._unit_of = np.append(self._unit_of, UNASSIGNED)
+            self._n_pending += 1
+        else:
+            self._unit_of = np.append(self._unit_of, unit_id)
+            self._members[unit_id].append(new_index)
+        return unit_id
+
+    def add_pois(
+        self, pois: Sequence[POI], popularities: Optional[Sequence[float]] = None
+    ) -> List[int]:
+        """Batch :meth:`add_poi`; returns the assigned unit ids."""
+        if popularities is not None and len(popularities) != len(pois):
+            raise ValueError("popularities must align with pois")
+        out = []
+        for i, poi in enumerate(pois):
+            pop = popularities[i] if popularities is not None else 0.0
+            out.append(self.add_poi(poi, pop))
+        return out
+
+    def _find_compatible_unit(self, x: float, y: float, tag: str) -> int:
+        """Nearest unit within radius whose distribution accepts the tag."""
+        candidates = {}
+        for j in self._neighbours(x, y):
+            unit_id = int(self._unit_of[j]) if j < len(self._unit_of) else UNASSIGNED
+            if unit_id == UNASSIGNED:
+                continue
+            d2 = ((self._xy[j] - (x, y)) ** 2).sum()
+            if unit_id not in candidates or d2 < candidates[unit_id]:
+                candidates[unit_id] = d2
+        tags = [self._tag(p) for p in self._pois]
+        for unit_id in sorted(candidates, key=lambda u: candidates[u]):
+            distribution = unit_distribution(
+                self._members[unit_id], tags, self._popularity
+            )
+            if cosine_similarity({tag: 1.0}, distribution) >= self.merge_cos:
+                return unit_id
+        return UNASSIGNED
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def n_added(self) -> int:
+        return self._n_added
+
+    @property
+    def n_pending(self) -> int:
+        """POIs awaiting the next full rebuild."""
+        return self._n_pending
+
+    def staleness(self) -> float:
+        """Fraction of all POIs that the online step could not place."""
+        total = len(self._pois)
+        return self._n_pending / total if total else 0.0
+
+    def needs_rebuild(self, threshold: float = 0.05) -> bool:
+        """True once the pending fraction exceeds ``threshold``."""
+        return self.staleness() > threshold
+
+    def diagram(self) -> CitySemanticDiagram:
+        """Materialise the updated diagram (units rebuilt from members)."""
+        tags = [self._tag(p) for p in self._pois]
+        units = []
+        for unit_id, members in enumerate(self._members):
+            xy = self._xy[members]
+            units.append(
+                SemanticUnit(
+                    unit_id=unit_id,
+                    poi_indices=list(members),
+                    centroid_xy=(
+                        float(xy[:, 0].mean()), float(xy[:, 1].mean())
+                    ),
+                    semantic_distribution=unit_distribution(
+                        members, tags, self._popularity
+                    ),
+                )
+            )
+        return CitySemanticDiagram(
+            pois=self._pois,
+            projection=self.base.projection,
+            poi_xy=self._xy,
+            popularity=self._popularity,
+            units=units,
+            unit_of=self._unit_of,
+            tag_level=self.base.tag_level,
+        )

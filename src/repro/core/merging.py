@@ -1,0 +1,132 @@
+"""Semantic unit merging (Section 4.1, Equations 6-8).
+
+Purification can fragment one logical unit (a shopping street cut by a
+pedestrian square), and popularity-based clustering leaves stray POIs
+unclustered.  Merging repairs both: nearby units whose
+popularity-weighted semantic distributions have cosine similarity at or
+above the threshold fuse (union-find), and leftover POIs join a nearby
+compatible unit as singleton candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geo.index import GridIndex
+
+
+def unit_distribution(
+    members: Sequence[int], tags: Sequence[str], popularity: np.ndarray
+) -> Dict[str, float]:
+    """Popularity-weighted tag distribution ``Pr_u(s)`` (Eq. 6).
+
+    POIs with zero popularity still count with a tiny floor weight so a
+    unit in a never-visited area keeps a defined distribution.
+    """
+    dist: Dict[str, float] = {}
+    for i in members:
+        w = float(popularity[i]) + 1e-12
+        tag = tags[i]
+        dist[tag] = dist.get(tag, 0.0) + w
+    total = sum(dist.values())
+    return {t: v / total for t, v in dist.items()}
+
+
+def cosine_similarity(p: Dict[str, float], q: Dict[str, float]) -> float:
+    """Cosine of two tag distributions (Equations 7-8)."""
+    if not p or not q:
+        return 0.0
+    prod = sum(p.get(s, 0.0) * q.get(s, 0.0) for s in set(p) | set(q))
+    pp = sum(v * v for v in p.values())
+    qq = sum(v * v for v in q.values())
+    denominator = np.sqrt(pp * qq)
+    if denominator == 0.0:
+        return 0.0
+    return float(prod / denominator)
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, i: int) -> int:
+        while self.parent[i] != i:
+            self.parent[i] = self.parent[self.parent[i]]
+            i = self.parent[i]
+        return i
+
+    def union(self, i: int, j: int) -> None:
+        ri, rj = self.find(i), self.find(j)
+        if ri != rj:
+            self.parent[max(ri, rj)] = min(ri, rj)
+
+
+def _nearby_pairs(
+    units: List[List[int]], poi_xy: np.ndarray, radius: float
+) -> List[Tuple[int, int]]:
+    """Unit pairs with at least one POI pair within ``radius`` metres."""
+    owner = {}
+    flat: List[int] = []
+    for u, members in enumerate(units):
+        for i in members:
+            owner[i] = u
+            flat.append(i)
+    if not flat:
+        return []
+    flat_xy = poi_xy[flat]
+    index = GridIndex(flat_xy, cell_size=max(radius, 1.0))
+    pairs = set()
+    for a, i in enumerate(flat):
+        ua = owner[i]
+        for b in index.query_radius(flat_xy[a, 0], flat_xy[a, 1], radius):
+            ub = owner[flat[int(b)]]
+            if ua != ub:
+                pairs.add((min(ua, ub), max(ua, ub)))
+    return sorted(pairs)
+
+
+def merge_units(
+    units: List[List[int]],
+    leftovers: Sequence[int],
+    poi_xy: np.ndarray,
+    poi_tags: Sequence[str],
+    popularity: np.ndarray,
+    cos_threshold: float,
+    radius: float,
+) -> List[List[int]]:
+    """Merge similar nearby units and absorb compatible leftover POIs.
+
+    Returns the final unit membership lists; leftover POIs that match no
+    nearby unit stay outside the diagram (their ``unit_of`` entry remains
+    unassigned).
+    """
+    if not 0.0 <= cos_threshold <= 1.0:
+        raise ValueError("cos_threshold must be in [0, 1]")
+    tags = list(poi_tags)
+    # Leftover POIs participate as singleton pseudo-units; whether the
+    # merge keeps them is decided by the same cosine rule.
+    singleton_start = len(units)
+    all_units = [list(u) for u in units] + [[i] for i in leftovers]
+    dists = [unit_distribution(u, tags, popularity) for u in all_units]
+
+    uf = _UnionFind(len(all_units))
+    for a, b in _nearby_pairs(all_units, poi_xy, radius):
+        if cosine_similarity(dists[a], dists[b]) >= cos_threshold:
+            uf.union(a, b)
+
+    merged: Dict[int, List[int]] = {}
+    roots_with_real_unit = set()
+    for u in range(len(all_units)):
+        root = uf.find(u)
+        merged.setdefault(root, []).extend(all_units[u])
+        if u < singleton_start:
+            roots_with_real_unit.add(root)
+    # A group made only of leftovers is not a unit: Algorithm 1 already
+    # rejected those POIs as too sparse to anchor semantics.
+    return [
+        sorted(members)
+        for root, members in sorted(merged.items())
+        if root in roots_with_real_unit
+    ]

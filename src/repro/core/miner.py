@@ -1,0 +1,105 @@
+"""The Pervasive Miner facade (Figure 2's three-component system).
+
+Chains the Semantic Diagram Constructor, the Semantic Recognizer and the
+Pattern Extractor into one call so a downstream user can go from raw
+POIs + trajectories to fine-grained patterns:
+
+>>> miner = PervasiveMiner(csd_config, mining_config)   # doctest: +SKIP
+>>> result = miner.mine(pois, trajectories)             # doctest: +SKIP
+>>> result.patterns                                     # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import CSDConfig, MiningConfig
+from repro.core.constructor import build_csd
+from repro.core.csd import CitySemanticDiagram
+from repro.core.extraction import FineGrainedPattern, counterpart_cluster
+from repro.core.recognition import CSDRecognizer
+from repro.data.poi import POI
+from repro.data.trajectory import (
+    SemanticTrajectory,
+    StayPoint,
+    validate_database,
+)
+
+
+@dataclass
+class MiningResult:
+    """Everything one mining run produces."""
+
+    csd: CitySemanticDiagram
+    recognized: List[SemanticTrajectory]
+    patterns: List[FineGrainedPattern]
+
+    @property
+    def n_patterns(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def coverage(self) -> int:
+        """Sum of pattern supports (Section 5's coverage metric)."""
+        return sum(p.support for p in self.patterns)
+
+
+class PervasiveMiner:
+    """End-to-end fine-grained semantic pattern miner (Section 4)."""
+
+    def __init__(
+        self,
+        csd_config: Optional[CSDConfig] = None,
+        mining_config: Optional[MiningConfig] = None,
+    ) -> None:
+        self.csd_config = csd_config or CSDConfig()
+        self.mining_config = mining_config or MiningConfig()
+
+    def build_diagram(
+        self,
+        pois: Sequence[POI],
+        stay_points: Sequence[StayPoint],
+    ) -> CitySemanticDiagram:
+        """Step 1: construct the City Semantic Diagram."""
+        return build_csd(pois, stay_points, self.csd_config)
+
+    def recognize(
+        self,
+        csd: CitySemanticDiagram,
+        trajectories: Sequence[SemanticTrajectory],
+    ) -> List[SemanticTrajectory]:
+        """Step 2: semantic recognition over unlabelled trajectories."""
+        recognizer = CSDRecognizer(csd, self.csd_config.r3sigma_m)
+        return recognizer.recognize(trajectories)
+
+    def extract(
+        self,
+        csd: CitySemanticDiagram,
+        recognized: Sequence[SemanticTrajectory],
+    ) -> List[FineGrainedPattern]:
+        """Step 3: fine-grained pattern extraction (Algorithm 4)."""
+        return counterpart_cluster(
+            recognized, self.mining_config, csd.projection
+        )
+
+    def mine(
+        self,
+        pois: Sequence[POI],
+        trajectories: Sequence[SemanticTrajectory],
+        csd: Optional[CitySemanticDiagram] = None,
+    ) -> MiningResult:
+        """Run all three steps.
+
+        ``trajectories`` carry stay points without semantics (e.g. from
+        :meth:`repro.data.taxi.TaxiDataset.mining_trajectories`).  Pass a
+        pre-built ``csd`` to reuse an expensive diagram across parameter
+        sweeps.
+        """
+        validate_database(trajectories)
+        stay_points = [sp for st in trajectories for sp in st.stay_points]
+        if csd is None:
+            csd = self.build_diagram(pois, stay_points)
+        recognized = self.recognize(csd, trajectories)
+        patterns = self.extract(csd, recognized)
+        return MiningResult(csd, recognized, patterns)

@@ -1,0 +1,118 @@
+"""Semantic purification (Algorithm 2, Equations 4-5).
+
+Coarse clusters from popularity-based clustering may mix semantics
+(skyscrapers, zoning boundaries).  Purification repeatedly splits any
+cluster that is neither single-semantic nor spatially tight
+(``Var < V_min``): the POI closest to the cluster centre is the
+reference, Kullback-Leibler divergence between each member's local
+semantic distribution and the reference's is computed, and members above
+the median divergence break away into a new cluster.  Both halves go
+back on the work list until every cluster qualifies as a fine-grained
+semantic unit (Definition 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.geo.distance import gaussian_coefficients
+from repro.geo.stats import medoid_index, spatial_variance
+
+#: Additive smoothing for the KL computation: Eq. 5 divides by
+#: probabilities that are zero for tags absent near one POI.
+_KL_EPS = 1e-9
+
+
+def semantic_distributions(
+    xy: np.ndarray, tags: Sequence[str], r3sigma: float
+) -> List[Dict[str, float]]:
+    """Per-POI local semantic distribution ``Pr_{p_i}(s)`` (Eq. 4).
+
+    ``Pr_{p_i}(s)`` weighs every cluster member's tag by its Gaussian
+    coefficient to ``p_i``, so nearby members dominate the view each POI
+    has of its cluster's semantics.
+    """
+    pts = np.asarray(xy, dtype=float).reshape(-1, 2)
+    n = len(pts)
+    if n != len(tags):
+        raise ValueError("xy and tags must align")
+    out: List[Dict[str, float]] = []
+    tag_list = list(tags)
+    for i in range(n):
+        d = np.sqrt(((pts - pts[i]) ** 2).sum(axis=1))
+        w = gaussian_coefficients(d, r3sigma)
+        total = float(w.sum())
+        dist: Dict[str, float] = {}
+        for j, tag in enumerate(tag_list):
+            dist[tag] = dist.get(tag, 0.0) + float(w[j])
+        out.append({t: v / total for t, v in dist.items()})
+    return out
+
+
+def kl_divergence(
+    p: Dict[str, float], q: Dict[str, float], support: Sequence[str]
+) -> float:
+    """Smoothed ``KL(p || q)`` over the tag ``support`` (Eq. 5)."""
+    total = 0.0
+    for s in support:
+        ps = p.get(s, 0.0) + _KL_EPS
+        qs = q.get(s, 0.0) + _KL_EPS
+        total += ps * np.log(ps / qs)
+    return float(total)
+
+
+def is_fine_grained(
+    xy: np.ndarray, tags: Sequence[str], v_min: float
+) -> bool:
+    """Definition 3 qualification: single-semantic OR tight variance."""
+    if len(set(tags)) <= 1:
+        return True
+    return spatial_variance(xy) < v_min
+
+
+def purify(
+    clusters: List[List[int]],
+    poi_xy: np.ndarray,
+    poi_tags: Sequence[str],
+    v_min: float,
+    r3sigma: float,
+) -> List[List[int]]:
+    """Algorithm 2: split clusters until all are fine-grained units.
+
+    ``clusters`` holds POI index lists; the output preserves every input
+    index exactly once.  Termination is guaranteed: each split strictly
+    shrinks a cluster, and a split that moves nothing (all divergences
+    equal, e.g. perfectly mixed stacks) force-accepts the cluster — the
+    paper leaves this degenerate case implicit.
+    """
+    if v_min < 0:
+        raise ValueError("v_min must be non-negative")
+    tags = list(poi_tags)
+    work = [list(c) for c in clusters if c]
+    units: List[List[int]] = []
+    while work:
+        cluster = work.pop()
+        xy = poi_xy[cluster]
+        ctags = [tags[i] for i in cluster]
+        if is_fine_grained(xy, ctags, v_min):
+            units.append(cluster)
+            continue
+        dists = semantic_distributions(xy, ctags, r3sigma)
+        ref = medoid_index(xy)
+        support = sorted(set(ctags))
+        kl = np.array(
+            [kl_divergence(dists[k], dists[ref], support) for k in range(len(cluster))]
+        )
+        median = float(np.median(kl))
+        moved = [cluster[k] for k in range(len(cluster)) if kl[k] > median]
+        kept = [cluster[k] for k in range(len(cluster)) if kl[k] <= median]
+        if not moved or not kept:
+            # Degenerate divergence profile: cannot make progress by the
+            # median rule; accept as-is rather than loop forever.
+            units.append(cluster)
+            continue
+        work.append(kept)
+        work.append(moved)
+    return units

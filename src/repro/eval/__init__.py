@@ -1,0 +1,37 @@
+"""Evaluation harness: metrics, six-approach experiments, reporting."""
+
+from repro.eval.metrics import (
+    ApproachMetrics,
+    pattern_semantic_consistency,
+    pattern_spatial_sparsity,
+    semantic_cosine,
+    sparsity_histogram,
+    summarize_patterns,
+)
+from repro.eval.experiments import (
+    ExperimentWorkload,
+    make_workload,
+    run_all_approaches,
+    sweep_parameter,
+)
+from repro.eval.reporting import (
+    box_stats,
+    format_table,
+    render_histogram,
+)
+
+__all__ = [
+    "ApproachMetrics",
+    "ExperimentWorkload",
+    "box_stats",
+    "format_table",
+    "make_workload",
+    "pattern_semantic_consistency",
+    "pattern_spatial_sparsity",
+    "render_histogram",
+    "run_all_approaches",
+    "semantic_cosine",
+    "sparsity_histogram",
+    "summarize_patterns",
+    "sweep_parameter",
+]

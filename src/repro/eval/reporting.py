@@ -1,0 +1,81 @@
+"""Plain-text rendering of the experiment outputs.
+
+The benches print the same rows/series the paper's figures plot;
+``format_table`` and ``render_histogram`` keep that output aligned and
+diffable without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], precision: int = 3
+) -> str:
+    """Fixed-width table; floats rounded to ``precision`` digits."""
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def render_histogram(
+    bin_lefts: Sequence[float],
+    counts: Sequence[int],
+    bin_width: float = 5.0,
+    max_bar: int = 40,
+) -> str:
+    """ASCII frequency curve for the Figure 9 bench."""
+    counts = list(counts)
+    peak = max(counts) if counts else 0
+    lines = []
+    for left, count in zip(bin_lefts, counts):
+        bar = "#" * (int(count / peak * max_bar) if peak else 0)
+        lines.append(f"[{left:5.0f},{left + bin_width:5.0f})  {count:5d}  {bar}")
+    return "\n".join(lines)
+
+
+def box_stats(values: Sequence[float]) -> Dict[str, float]:
+    """min/Q1/median/Q3/max/mean — the Figure 10 box-plot numbers."""
+    if len(values) == 0:
+        return {k: float("nan") for k in ("min", "q1", "median", "q3", "max", "mean")}
+    arr = np.asarray(values, dtype=float)
+    return {
+        "min": float(arr.min()),
+        "q1": float(np.percentile(arr, 25)),
+        "median": float(np.percentile(arr, 50)),
+        "q3": float(np.percentile(arr, 75)),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+    }
+
+
+def series_table(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, List[float]],
+    precision: int = 3,
+) -> str:
+    """One row per x value, one column per approach (Fig. 11-13 panels)."""
+    headers = [x_label] + list(series)
+    rows: List[Tuple] = []
+    for i, x in enumerate(x_values):
+        rows.append(tuple([x] + [series[name][i] for name in series]))
+    return format_table(headers, rows, precision)

@@ -1,0 +1,42 @@
+"""Geodesy and spatial primitives used throughout the reproduction.
+
+Everything downstream (clustering, CSD construction, pattern mining)
+manipulates points either as WGS-84 longitude/latitude pairs or as local
+east/north metre offsets obtained through :class:`LocalProjection`.  The
+helpers here implement the papers' Equations (1) and (2) plus the density
+measure ``Den`` referenced by Definition 11.
+"""
+
+from repro.geo.distance import (
+    EARTH_RADIUS_M,
+    equirectangular_distance,
+    gaussian_coefficient,
+    gaussian_coefficients,
+    haversine_distance,
+    pairwise_distances,
+)
+from repro.geo.index import GridIndex
+from repro.geo.projection import LocalProjection
+from repro.geo.stats import (
+    centroid,
+    medoid_index,
+    mean_pairwise_distance,
+    spatial_density,
+    spatial_variance,
+)
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "GridIndex",
+    "LocalProjection",
+    "centroid",
+    "equirectangular_distance",
+    "gaussian_coefficient",
+    "gaussian_coefficients",
+    "haversine_distance",
+    "mean_pairwise_distance",
+    "medoid_index",
+    "pairwise_distances",
+    "spatial_density",
+    "spatial_variance",
+]

@@ -1,0 +1,5 @@
+"""Sequential pattern mining substrate (PrefixSpan)."""
+
+from repro.mining.prefixspan import FrequentSequence, prefixspan
+
+__all__ = ["FrequentSequence", "prefixspan"]

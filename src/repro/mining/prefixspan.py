@@ -1,0 +1,113 @@
+"""PrefixSpan (Pei et al., 2001) with occurrence tracking.
+
+Mines frequent subsequences of item sequences by prefix-projected
+database growth.  Beyond supports, the miner records for every frequent
+sequence its *leftmost occurrence* in each supporting input sequence —
+Algorithm 4 needs the matched stay-point positions of every supporting
+trajectory, not just a count.
+
+Items are arbitrary hashables (category tag strings in this project).
+Only single-item elements are supported: a stay point carries exactly
+one dominant tag, so itemset elements never occur in this pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+Item = Hashable
+
+
+@dataclass(frozen=True)
+class FrequentSequence:
+    """One frequent sequential pattern.
+
+    ``occurrences`` maps each supporting sequence's index to the item
+    positions of the leftmost match, e.g. pattern ``(a, b)`` matched in
+    sequence 3 at positions ``(0, 4)`` appears as ``(3, (0, 4))``.
+    """
+
+    items: Tuple[Item, ...]
+    support: int
+    occurrences: Tuple[Tuple[int, Tuple[int, ...]], ...]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def prefixspan(
+    sequences: Sequence[Sequence[Item]],
+    min_support: int,
+    min_length: int = 1,
+    max_length: int = 8,
+) -> List[FrequentSequence]:
+    """Mine frequent subsequences with support >= ``min_support``.
+
+    Parameters
+    ----------
+    sequences:
+        Input sequences of hashable items; ``None`` items are treated as
+        wildcards that match nothing (unrecognised stay points).
+    min_support:
+        Minimum number of distinct supporting sequences.
+    min_length, max_length:
+        Emitted pattern length bounds (``max_length`` also prunes the
+        recursion, keeping the search polynomial on dense data).
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    if min_length < 1 or max_length < min_length:
+        raise ValueError("need 1 <= min_length <= max_length")
+
+    # Projected database: (sequence index, positions matched so far,
+    # start offset for the next extension).
+    projections: List[Tuple[int, Tuple[int, ...], int]] = [
+        (i, (), 0) for i in range(len(sequences))
+    ]
+    out: List[FrequentSequence] = []
+    _grow((), projections, sequences, min_support, min_length, max_length, out)
+    out.sort(key=lambda fs: (-fs.support, len(fs.items), str(fs.items)))
+    return out
+
+
+def _grow(
+    prefix: Tuple[Item, ...],
+    projections: List[Tuple[int, Tuple[int, ...], int]],
+    sequences: Sequence[Sequence[Item]],
+    min_support: int,
+    min_length: int,
+    max_length: int,
+    out: List[FrequentSequence],
+) -> None:
+    if len(prefix) >= max_length:
+        return
+    # Local frequent items: first (leftmost) occurrence per sequence.
+    first_hit: Dict[Item, List[Tuple[int, Tuple[int, ...], int]]] = defaultdict(list)
+    for seq_idx, positions, start in projections:
+        seq = sequences[seq_idx]
+        seen: set = set()
+        for pos in range(start, len(seq)):
+            item = seq[pos]
+            if item is None or item in seen:
+                continue
+            seen.add(item)
+            first_hit[item].append((seq_idx, positions + (pos,), pos + 1))
+
+    for item, extended in sorted(first_hit.items(), key=lambda kv: str(kv[0])):
+        if len(extended) < min_support:
+            continue
+        new_prefix = prefix + (item,)
+        if len(new_prefix) >= min_length:
+            out.append(
+                FrequentSequence(
+                    items=new_prefix,
+                    support=len(extended),
+                    occurrences=tuple(
+                        (seq_idx, positions) for seq_idx, positions, _s in extended
+                    ),
+                )
+            )
+        _grow(new_prefix, extended, sequences, min_support, min_length,
+              max_length, out)

@@ -1,0 +1,9 @@
+"""Stdlib-only SVG rendering of the diagram and patterns.
+
+Figures 6 and 14 of the paper are maps; :mod:`repro.viz.svg` draws the
+same views as standalone SVG files without any plotting dependency.
+"""
+
+from repro.viz.svg import render_csd_svg, render_patterns_svg, save_svg
+
+__all__ = ["render_csd_svg", "render_patterns_svg", "save_svg"]

@@ -1,0 +1,115 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def data_dir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("cli-data")
+    rc = main([
+        "simulate", "--out", str(d), "--extent-m", "3000",
+        "--pois", "2000", "--passengers", "40", "--days", "3",
+    ])
+    assert rc == 0
+    return d
+
+
+class TestSimulate:
+    def test_writes_csvs(self, data_dir):
+        assert (data_dir / "pois.csv").exists()
+        assert (data_dir / "trips.csv").exists()
+        header = (data_dir / "pois.csv").read_text().splitlines()[0]
+        assert header.startswith("poi_id,")
+
+
+class TestBuildCSD:
+    def test_build_and_geojson(self, data_dir, tmp_path, capsys):
+        out = tmp_path / "csd.geojson"
+        rc = main([
+            "build-csd", "--pois", str(data_dir / "pois.csv"),
+            "--trips", str(data_dir / "trips.csv"),
+            "--geojson", str(out),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "n_units" in captured
+        collection = json.loads(out.read_text())
+        assert collection["type"] == "FeatureCollection"
+        assert collection["features"]
+
+
+class TestPersistedPipeline:
+    def test_save_then_reuse_csd(self, data_dir, tmp_path, capsys):
+        saved = tmp_path / "csd.json"
+        svg = tmp_path / "csd.svg"
+        rc = main([
+            "build-csd", "--pois", str(data_dir / "pois.csv"),
+            "--trips", str(data_dir / "trips.csv"),
+            "--save", str(saved), "--svg", str(svg),
+        ])
+        assert rc == 0
+        assert saved.exists()
+        assert svg.read_text().startswith("<svg")
+
+        pattern_svg = tmp_path / "patterns.svg"
+        rc = main([
+            "mine", "--pois", str(data_dir / "pois.csv"),
+            "--trips", str(data_dir / "trips.csv"),
+            "--support", "8", "--load-csd", str(saved),
+            "--svg", str(pattern_svg),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "patterns" in out
+
+
+class TestMine:
+    def test_mine_writes_outputs(self, data_dir, tmp_path, capsys):
+        geojson = tmp_path / "patterns.geojson"
+        table = tmp_path / "patterns.csv"
+        rc = main([
+            "mine", "--pois", str(data_dir / "pois.csv"),
+            "--trips", str(data_dir / "trips.csv"),
+            "--support", "8",
+            "--geojson", str(geojson), "--csv", str(table),
+        ])
+        assert rc == 0
+        assert "patterns" in capsys.readouterr().out
+        assert geojson.exists() and table.exists()
+        lines = table.read_text().splitlines()
+        assert lines[0].startswith("route,support")
+
+    def test_unknown_approach_fails(self, data_dir, capsys):
+        rc = main([
+            "mine", "--pois", str(data_dir / "pois.csv"),
+            "--trips", str(data_dir / "trips.csv"),
+            "--approach", "CSD-Magic",
+        ])
+        assert rc == 2
+        assert "unknown approach" in capsys.readouterr().err
+
+
+class TestCheckins:
+    def test_prints_both_cities(self, capsys):
+        rc = main(["checkins", "--activities", "20000", "--top", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "New York" in out and "Tokyo" in out
+        assert "Train Station" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["mine", "--pois", "p.csv", "--trips", "t.csv"]
+        )
+        assert args.approach == "CSD-PM"
+        assert args.support == 20

@@ -1,0 +1,147 @@
+"""Unit tests for Algorithm 1 and the CSD constructor."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CSDConfig
+from repro.core.constructor import (
+    _popularity_compatible,
+    build_csd,
+    popularity_based_clustering,
+)
+from repro.data.poi import POI
+from repro.data.trajectory import StayPoint
+
+
+def config(**kw):
+    defaults = dict(min_pts=3, eps_p_m=30.0, alpha=0.8, d_v_m=15.0)
+    defaults.update(kw)
+    return CSDConfig(**defaults)
+
+
+class TestPopularityCompatibility:
+    def test_equal_popularity_passes(self):
+        assert _popularity_compatible(5.0, 5.0, 0.8, 1e-3)
+
+    def test_large_gap_fails(self):
+        assert not _popularity_compatible(10.0, 1.0, 0.8, 1e-3)
+
+    def test_both_zero_passes(self):
+        assert _popularity_compatible(0.0, 0.0, 0.8, 1e-3)
+
+    def test_epsilon_smooths_tiny_values(self):
+        # Raw ratio 0 / 1e-6 would fail; epsilon makes both ~epsilon.
+        assert _popularity_compatible(0.0, 1e-6, 0.8, 1e-3)
+
+
+class TestAlgorithm1:
+    def test_same_tag_cluster_forms(self):
+        # Five same-tag POIs within eps of each other chain together.
+        xy = np.array([[i * 10.0, 0.0] for i in range(5)])
+        tags = ["Shop & Market"] * 5
+        pop = np.ones(5)
+        clusters, leftovers = popularity_based_clustering(
+            xy, tags, pop, config()
+        )
+        assert clusters == [[0, 1, 2, 3, 4]]
+        assert leftovers == []
+
+    def test_different_tags_do_not_chain(self):
+        xy = np.array([[i * 20.0, 0.0] for i in range(6)])
+        tags = ["A", "A", "A", "B", "B", "B"]
+        pop = np.ones(6)
+        clusters, _ = popularity_based_clustering(xy, tags, pop, config())
+        assert sorted(map(tuple, clusters)) == [(0, 1, 2), (3, 4, 5)]
+
+    def test_skyscraper_branch_mixes_tags_within_dv(self):
+        # Mixed tags stacked within d_v of the seed join one cluster.
+        xy = np.array([[0.0, 0.0], [5.0, 0.0], [0.0, 5.0], [5.0, 5.0]])
+        tags = ["A", "B", "C", "D"]
+        pop = np.ones(4)
+        clusters, _ = popularity_based_clustering(
+            xy, tags, pop, config(min_pts=4)
+        )
+        assert clusters == [[0, 1, 2, 3]]
+
+    def test_min_pts_dissolves_small_clusters(self):
+        xy = np.array([[0.0, 0.0], [10.0, 0.0]])
+        tags = ["A", "A"]
+        pop = np.ones(2)
+        clusters, leftovers = popularity_based_clustering(
+            xy, tags, pop, config(min_pts=3)
+        )
+        assert clusters == []
+        assert leftovers == [0, 1]
+
+    def test_popularity_gap_splits_cluster(self):
+        xy = np.array([[i * 10.0, 0.0] for i in range(6)])
+        tags = ["A"] * 6
+        pop = np.array([1.0, 1.0, 1.0, 10.0, 10.0, 10.0])
+        clusters, _ = popularity_based_clustering(xy, tags, pop, config())
+        assert sorted(map(tuple, clusters)) == [(0, 1, 2), (3, 4, 5)]
+
+    def test_far_points_never_cluster(self):
+        xy = np.array([[0.0, 0.0], [1000.0, 0.0]])
+        tags = ["A", "A"]
+        clusters, leftovers = popularity_based_clustering(
+            xy, tags, np.ones(2), config(min_pts=2)
+        )
+        assert clusters == []
+        assert sorted(leftovers) == [0, 1]
+
+    def test_partition_is_exact(self):
+        rng = np.random.default_rng(0)
+        xy = rng.uniform(0, 500, (80, 2))
+        tags = [("A", "B")[i % 2] for i in range(80)]
+        clusters, leftovers = popularity_based_clustering(
+            xy, tags, np.ones(80), config()
+        )
+        seen = sorted(i for c in clusters for i in c) + sorted(leftovers)
+        assert sorted(seen) == list(range(80))
+
+
+class TestBuildCSD:
+    def test_end_to_end_small(self, small_pois, small_trajectories,
+                              small_csd_config, small_city):
+        stays = [sp for st in small_trajectories for sp in st.stay_points]
+        csd = build_csd(small_pois, stays, small_csd_config,
+                        small_city.projection)
+        assert csd.n_units > 10
+        assert 0.3 < csd.assigned_fraction() <= 1.0
+        # Units partition assigned POIs.
+        assigned = [i for u in csd.units for i in u.poi_indices]
+        assert len(assigned) == len(set(assigned))
+        # unit_of is consistent with membership lists.
+        for unit in csd.units[:20]:
+            for i in unit.poi_indices:
+                assert csd.unit_of[i] == unit.unit_id
+
+    def test_units_are_fine_grained_mostly(self, small_csd):
+        purity = small_csd.unit_purities()
+        assert purity.mean() > 0.8
+
+    def test_skyscraper_neighbourhood_handled(self):
+        """A mixed stack plus a pure plaza: the stack must not leak its
+        minority tags into the plaza unit after purification."""
+        pois = []
+        # Pure restaurant plaza at (0, 0).
+        for i in range(6):
+            pois.append(POI(i, 121.47 + i * 1e-5, 31.23, "Restaurant", "Cafe"))
+        # Mixed tower 200 m east (~0.0021 deg lon).
+        for j, cat in enumerate(
+            ["Business & Office", "Shop & Market", "Accommodation & Hotel"] * 2
+        ):
+            pois.append(
+                POI(6 + j, 121.4721 + j * 2e-6, 31.23, cat, {
+                    "Business & Office": "Company",
+                    "Shop & Market": "Shopping Mall",
+                    "Accommodation & Hotel": "Business Hotel",
+                }[cat])
+            )
+        stays = [StayPoint(121.47, 31.23, float(i)) for i in range(5)]
+        csd = build_csd(pois, stays, CSDConfig(min_pts=3))
+        # The restaurant plaza POIs share one pure unit.
+        unit_ids = {csd.find_semantic_unit(i) for i in range(6)}
+        assert len(unit_ids) == 1
+        unit = csd.unit(unit_ids.pop())
+        assert unit.tags == {"Restaurant"}

@@ -1,0 +1,121 @@
+"""Unit tests for Definitions 7-10 (containment, CP, group, support)."""
+
+import pytest
+
+from repro.core.containment import (
+    contains,
+    counterpart,
+    group_of,
+    reachable_contains,
+    support_of,
+)
+from repro.data.trajectory import SemanticTrajectory, StayPoint
+
+DEG_PER_M = 1.0 / 111_195.0
+
+
+def st_at(traj_id, stops):
+    """stops: list of (east_m, t_minutes, tags)."""
+    return SemanticTrajectory(
+        traj_id,
+        [
+            StayPoint(x * DEG_PER_M, 0.0, t * 60.0, frozenset(tags))
+            for x, t, tags in stops
+        ],
+    )
+
+
+# The Figure 1 setting: Office -> Home -> Restaurant at ~50 m offsets.
+PATTERN = st_at(0, [(0, 0, {"Office"}), (1000, 20, {"Home"}),
+                    (2000, 40, {"Restaurant"})])
+NEARBY = st_at(1, [(40, 2, {"Office"}), (1040, 22, {"Home"}),
+                   (2040, 42, {"Restaurant"})])
+SHIFTED = st_at(2, [(80, 4, {"Office"}), (1080, 24, {"Home"}),
+                    (2080, 44, {"Restaurant"})])
+FAR = st_at(3, [(5000, 0, {"Office"}), (6000, 20, {"Home"}),
+                (7000, 40, {"Restaurant"})])
+
+
+class TestContains:
+    def test_direct_containment(self):
+        match = contains(NEARBY, PATTERN, eps_t_m=100.0, delta_t_s=3600.0)
+        assert match == (0, 1, 2)
+
+    def test_distance_violation(self):
+        assert contains(FAR, PATTERN, 100.0, 3600.0) is None
+
+    def test_semantic_superset_allowed(self):
+        rich = st_at(4, [(10, 1, {"Office", "Shop"}), (1010, 21, {"Home"}),
+                         (2010, 41, {"Restaurant", "Bar"})])
+        assert contains(rich, PATTERN, 100.0, 3600.0) == (0, 1, 2)
+
+    def test_semantic_subset_rejected(self):
+        poor = st_at(5, [(10, 1, set()), (1010, 21, {"Home"}),
+                         (2010, 41, {"Restaurant"})])
+        assert contains(poor, PATTERN, 100.0, 3600.0) is None
+
+    def test_temporal_violation_in_candidate(self):
+        slow = st_at(6, [(10, 0, {"Office"}), (1010, 200, {"Home"}),
+                         (2010, 220, {"Restaurant"})])
+        assert contains(slow, PATTERN, 100.0, 3600.0) is None
+
+    def test_temporal_violation_in_pattern_itself(self):
+        gappy = st_at(7, [(0, 0, {"Office"}), (1000, 500, {"Home"})])
+        host = st_at(8, [(10, 1, {"Office"}), (1010, 501, {"Home"})])
+        assert contains(host, gappy, 100.0, 3600.0) is None
+
+    def test_subsequence_match_skips_extra_stops(self):
+        long_st = st_at(9, [(10, 0, {"Office"}), (333, 10, {"Cafe"}),
+                            (1010, 20, {"Home"}), (2010, 40, {"Restaurant"})])
+        assert contains(long_st, PATTERN, 100.0, 3600.0) == (0, 2, 3)
+
+    def test_shorter_host_cannot_contain(self):
+        short = st_at(10, [(0, 0, {"Office"})])
+        assert contains(short, PATTERN, 100.0, 3600.0) is None
+
+
+class TestReachableContainment:
+    def test_chain_through_intermediate(self):
+        # SHIFTED (80 m) is beyond eps of PATTERN (50 m budget) but within
+        # eps of NEARBY, which contains PATTERN.
+        db = [PATTERN, NEARBY, SHIFTED]
+        assert contains(SHIFTED, PATTERN, 50.0, 3600.0) is None
+        assert reachable_contains(SHIFTED, PATTERN, 50.0, 3600.0, db)
+
+    def test_unreachable_stays_unreachable(self):
+        db = [PATTERN, NEARBY, FAR]
+        assert not reachable_contains(FAR, PATTERN, 50.0, 3600.0, db)
+
+    def test_direct_containment_counts(self):
+        assert reachable_contains(NEARBY, PATTERN, 100.0, 3600.0, [])
+
+
+class TestCounterpart:
+    def test_direct_counterpart(self):
+        cps = counterpart(NEARBY, PATTERN, 100.0, 3600.0)
+        assert [sp.semantics for sp in cps] == [
+            frozenset({"Office"}), frozenset({"Home"}), frozenset({"Restaurant"})
+        ]
+        assert len(cps) == len(PATTERN)
+
+    def test_counterpart_through_chain(self):
+        db = [PATTERN, NEARBY, SHIFTED]
+        cps = counterpart(SHIFTED, PATTERN, 50.0, 3600.0, db)
+        assert len(cps) == 3
+        assert cps == list(SHIFTED.stay_points)
+
+    def test_no_relation_empty(self):
+        assert counterpart(FAR, PATTERN, 50.0, 3600.0) == []
+
+
+class TestGroupAndSupport:
+    def test_group_collects_counterparts(self):
+        db = [PATTERN, NEARBY, SHIFTED, FAR]
+        groups = group_of(PATTERN, db, 100.0, 3600.0)
+        assert len(groups) == 3
+        # Pattern's own point + NEARBY + SHIFTED at each position.
+        assert all(len(g) == 3 for g in groups)
+
+    def test_support(self):
+        db = [PATTERN, NEARBY, SHIFTED, FAR]
+        assert support_of(PATTERN, db, 100.0, 3600.0) == 2

@@ -1,0 +1,107 @@
+"""Unit tests for the DBSCAN implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.dbscan import dbscan
+from repro.geo.index import GridIndex
+
+
+def make_blobs(seed=0, sigma=10.0, n=50):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 0], [500, 0], [0, 500]])
+    return np.vstack([c + rng.normal(0, sigma, (n, 2)) for c in centers])
+
+
+class TestClustering:
+    def test_recovers_three_blobs(self):
+        pts = make_blobs()
+        labels = dbscan(pts, eps=50, min_pts=5)
+        assert len(set(labels)) == 3
+        assert -1 not in labels
+        # Each blob is one label.
+        for i in range(3):
+            blob = labels[i * 50 : (i + 1) * 50]
+            assert len(set(blob)) == 1
+
+    def test_noise_detected(self):
+        pts = np.vstack([make_blobs(), [[5000.0, 5000.0]]])
+        labels = dbscan(pts, eps=50, min_pts=5)
+        assert labels[-1] == -1
+
+    def test_all_noise_when_sparse(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 1e6, (30, 2))
+        labels = dbscan(pts, eps=10, min_pts=5)
+        assert np.all(labels == -1)
+
+    def test_min_pts_one_clusters_everything(self):
+        pts = np.array([[0.0, 0.0], [1000.0, 1000.0]])
+        labels = dbscan(pts, eps=1, min_pts=1)
+        assert set(labels) == {0, 1}
+
+    def test_border_point_joins_cluster(self):
+        # Four core points plus one border point within eps of a core.
+        core = np.array([[0, 0], [1, 0], [0, 1], [1, 1]], dtype=float)
+        border = np.array([[4.0, 0.0]])
+        pts = np.vstack([core, border])
+        labels = dbscan(pts, eps=5, min_pts=4)
+        assert labels[-1] == labels[0]
+
+    def test_empty_input(self):
+        labels = dbscan(np.empty((0, 2)), eps=1, min_pts=3)
+        assert len(labels) == 0
+
+    def test_with_prebuilt_index(self):
+        pts = make_blobs()
+        idx = GridIndex(pts, cell_size=50)
+        labels = dbscan(pts, eps=50, min_pts=5, index=idx)
+        assert len(set(labels)) == 3
+
+    def test_mismatched_index_rejected(self):
+        pts = make_blobs()
+        idx = GridIndex(pts[:10], cell_size=50)
+        with pytest.raises(ValueError):
+            dbscan(pts, eps=50, min_pts=5, index=idx)
+
+    def test_rejects_bad_params(self):
+        pts = make_blobs()
+        with pytest.raises(ValueError):
+            dbscan(pts, eps=0, min_pts=5)
+        with pytest.raises(ValueError):
+            dbscan(pts, eps=5, min_pts=0)
+
+
+class TestInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 1000), st.floats(10.0, 200.0), st.integers(2, 8))
+    def test_core_points_never_noise(self, seed, eps, min_pts):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 800, (60, 2))
+        labels = dbscan(pts, eps=eps, min_pts=min_pts)
+        for i in range(len(pts)):
+            n_neighbours = (
+                ((pts - pts[i]) ** 2).sum(axis=1) <= eps * eps
+            ).sum()
+            if n_neighbours >= min_pts:
+                assert labels[i] != -1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_every_cluster_has_a_core_point(self, seed):
+        """A cluster may lose border points to an earlier cluster, but it
+        always contains at least one core point."""
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 500, (80, 2))
+        min_pts = 5
+        eps = 60.0
+        labels = dbscan(pts, eps=eps, min_pts=min_pts)
+        for label in set(labels) - {-1}:
+            members = np.flatnonzero(labels == label)
+            has_core = any(
+                (((pts - pts[i]) ** 2).sum(axis=1) <= eps * eps).sum()
+                >= min_pts
+                for i in members
+            )
+            assert has_core

@@ -1,0 +1,49 @@
+"""Smoke tests: every example must run to completion.
+
+``REPRO_QUICK=1`` shrinks the example workloads ~5x, so the whole sweep
+stays CI-friendly.  At that scale some examples legitimately mine zero
+patterns — these tests assert crash-freedom and the expected report
+framing, not result volume (the full-scale outputs are recorded in the
+example docstrings and EXPERIMENTS.md).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, REPRO_QUICK="1")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=420,
+    )
+
+
+class TestExampleScripts:
+    def test_seven_examples_exist(self):
+        assert len(EXAMPLES) == 7
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_example_runs(self, name):
+        result = run_example(name)
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert result.stdout.strip(), "example produced no output"
+
+    def test_quickstart_reports_pipeline_stages(self):
+        out = run_example("quickstart.py").stdout
+        assert "CSD:" in out and "Patterns:" in out
+
+    def test_bias_study_shows_suppression(self):
+        out = run_example("semantic_bias_study.py").stdout
+        assert "suppression" in out
+        assert "Hospital" in out

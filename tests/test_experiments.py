@@ -1,0 +1,107 @@
+"""Tests for the experiment harness and reporting helpers."""
+
+import pytest
+
+from repro.baselines.registry import Approach
+from repro.core.config import MiningConfig
+from repro.eval.experiments import (
+    ApproachRunner,
+    ExperimentWorkload,
+    make_workload,
+    run_all_approaches,
+    sweep_parameter,
+)
+from repro.eval.reporting import format_table, render_histogram, series_table
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return make_workload(
+        n_pois=2_500, n_passengers=60, days=5, extent_m=3_000.0, seed=2
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return MiningConfig(support=8, rho=0.0005)
+
+
+class TestWorkload:
+    def test_workload_shape(self, tiny_workload):
+        assert tiny_workload.trajectories
+        assert tiny_workload.pois
+        assert tiny_workload.projection is tiny_workload.city.projection
+
+    def test_workload_deterministic(self):
+        a = make_workload(n_pois=500, n_passengers=10, days=2, extent_m=2_000.0)
+        b = make_workload(n_pois=500, n_passengers=10, days=2, extent_m=2_000.0)
+        assert len(a.trajectories) == len(b.trajectories)
+        assert a.pois[0] == b.pois[0]
+
+
+class TestRunner:
+    def test_recognition_cached(self, tiny_workload):
+        runner = ApproachRunner(tiny_workload)
+        first = runner.recognized("CSD")
+        second = runner.recognized("CSD")
+        assert first is second
+
+    def test_csd_cached(self, tiny_workload):
+        runner = ApproachRunner(tiny_workload)
+        assert runner.csd is runner.csd
+
+    def test_all_approaches_produce_metrics(self, tiny_workload, tiny_config):
+        results = run_all_approaches(tiny_workload, tiny_config)
+        assert set(results) == {
+            "CSD-PM", "CSD-Splitter", "CSD-SDBSCAN",
+            "ROI-PM", "ROI-Splitter", "ROI-SDBSCAN",
+        }
+        for metrics in results.values():
+            assert metrics.n_patterns >= 0
+            assert metrics.coverage >= metrics.n_patterns * tiny_config.support or metrics.n_patterns == 0
+
+    def test_csd_pm_finds_patterns(self, tiny_workload, tiny_config):
+        runner = ApproachRunner(tiny_workload)
+        metrics = runner.metrics(Approach("CSD", "PM"), tiny_config)
+        assert metrics.n_patterns > 0
+        assert 0.0 < metrics.mean_consistency <= 1.0
+
+
+class TestSweep:
+    def test_support_sweep_monotone_quantity(self, tiny_workload):
+        results = sweep_parameter(
+            tiny_workload,
+            "support",
+            [8, 30],
+            base_config=MiningConfig(support=8, rho=0.0005),
+            approaches=[Approach("CSD", "PM")],
+        )
+        series = results["CSD-PM"]
+        assert len(series) == 2
+        # Raising sigma cannot increase the pattern count.
+        assert series[0].n_patterns >= series[1].n_patterns
+
+    def test_unknown_parameter_rejected(self, tiny_workload):
+        with pytest.raises(ValueError):
+            sweep_parameter(tiny_workload, "not_a_field", [1])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [("a", 1.23456), ("bb", 2)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in text
+
+    def test_render_histogram(self):
+        text = render_histogram([0.0, 5.0], [1, 3], bin_width=5.0)
+        assert "[    0,    5)" in text
+        assert text.splitlines()[1].count("#") > text.splitlines()[0].count("#")
+
+    def test_render_histogram_empty(self):
+        assert render_histogram([], []) == ""
+
+    def test_series_table(self):
+        text = series_table("sigma", [10, 20], {"A": [1.0, 2.0], "B": [3.0, 4.0]})
+        assert "sigma" in text and "A" in text
+        assert len(text.splitlines()) == 4

@@ -1,0 +1,82 @@
+"""Unit and property tests for repro.geo.index.GridIndex."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.index import GridIndex
+
+
+def brute_force(xy, x, y, r):
+    d2 = (xy[:, 0] - x) ** 2 + (xy[:, 1] - y) ** 2
+    return np.flatnonzero(d2 <= r * r)
+
+
+class TestBasics:
+    def test_empty_index(self):
+        idx = GridIndex(np.empty((0, 2)))
+        assert len(idx) == 0
+        assert len(idx.query_radius(0, 0, 100)) == 0
+
+    def test_single_point_hit_and_miss(self):
+        idx = GridIndex(np.array([[10.0, 10.0]]), cell_size=5.0)
+        assert list(idx.query_radius(10, 10, 1)) == [0]
+        assert list(idx.query_radius(100, 100, 1)) == []
+
+    def test_boundary_inclusive(self):
+        idx = GridIndex(np.array([[0.0, 0.0], [10.0, 0.0]]), cell_size=10)
+        hits = idx.query_radius(0.0, 0.0, 10.0)
+        assert list(hits) == [0, 1]
+
+    def test_results_sorted(self):
+        rng = np.random.default_rng(2)
+        xy = rng.uniform(0, 100, (200, 2))
+        idx = GridIndex(xy, cell_size=20)
+        hits = idx.query_radius(50, 50, 30)
+        assert list(hits) == sorted(hits)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.zeros((1, 2)), cell_size=0.0)
+        idx = GridIndex(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            idx.query_radius(0, 0, -1.0)
+
+    def test_points_view_is_readonly(self):
+        idx = GridIndex(np.zeros((3, 2)))
+        with pytest.raises((ValueError, RuntimeError)):
+            idx.points[0, 0] = 1.0
+
+    def test_count_within(self):
+        xy = np.array([[0.0, 0.0], [5.0, 0.0], [50.0, 0.0]])
+        idx = GridIndex(xy, cell_size=10)
+        assert idx.count_within(0, 0, 10) == 2
+
+    def test_query_many(self):
+        xy = np.array([[0.0, 0.0], [100.0, 100.0]])
+        idx = GridIndex(xy, cell_size=10)
+        results = idx.query_radius_many(np.array([[0, 0], [100, 100]]), 5.0)
+        assert [list(r) for r in results] == [[0], [1]]
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(0, 60),
+        st.floats(1.0, 300.0),
+        st.floats(5.0, 200.0),
+        st.integers(0, 10_000),
+    )
+    def test_matches_brute_force(self, n, radius, cell, seed):
+        rng = np.random.default_rng(seed)
+        xy = rng.uniform(-500, 500, (n, 2))
+        idx = GridIndex(xy, cell_size=cell)
+        x, y = rng.uniform(-500, 500, 2)
+        got = idx.query_radius(x, y, radius)
+        want = brute_force(xy, x, y, radius)
+        assert list(got) == list(want)
+
+    def test_negative_coordinates(self):
+        xy = np.array([[-250.0, -250.0], [-260.0, -250.0], [250.0, 250.0]])
+        idx = GridIndex(xy, cell_size=100)
+        assert list(idx.query_radius(-255, -250, 10)) == [0, 1]

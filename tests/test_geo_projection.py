@@ -1,0 +1,87 @@
+"""Unit tests for repro.geo.projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.distance import haversine_distance
+from repro.geo.projection import LocalProjection
+
+SHANGHAI = (121.47, 31.23)
+
+
+class TestRoundTrip:
+    @given(st.floats(-0.05, 0.05), st.floats(-0.05, 0.05))
+    def test_scalar_roundtrip(self, dlon, dlat):
+        proj = LocalProjection(*SHANGHAI)
+        lon, lat = SHANGHAI[0] + dlon, SHANGHAI[1] + dlat
+        x, y = proj.to_meters(lon, lat)
+        lon2, lat2 = proj.to_lonlat(x, y)
+        assert lon2 == pytest.approx(lon, abs=1e-12)
+        assert lat2 == pytest.approx(lat, abs=1e-12)
+
+    def test_array_roundtrip(self):
+        proj = LocalProjection(*SHANGHAI)
+        rng = np.random.default_rng(1)
+        lonlat = np.column_stack(
+            [121.47 + rng.uniform(-0.05, 0.05, 50),
+             31.23 + rng.uniform(-0.05, 0.05, 50)]
+        )
+        xy = proj.to_meters_array(lonlat)
+        back = proj.to_lonlat_array(xy)
+        assert np.allclose(back, lonlat)
+
+    def test_empty_arrays(self):
+        proj = LocalProjection(*SHANGHAI)
+        assert proj.to_meters_array([]).shape == (0, 2)
+        assert proj.to_lonlat_array([]).shape == (0, 2)
+
+
+class TestAccuracy:
+    def test_origin_maps_to_zero(self):
+        proj = LocalProjection(*SHANGHAI)
+        assert proj.to_meters(*SHANGHAI) == (0.0, 0.0)
+
+    def test_euclidean_matches_haversine(self):
+        proj = LocalProjection(*SHANGHAI)
+        lon2, lat2 = 121.52, 31.26
+        x, y = proj.to_meters(lon2, lat2)
+        euclid = np.hypot(x, y)
+        true = haversine_distance(*SHANGHAI, lon2, lat2)
+        assert euclid == pytest.approx(true, rel=2e-3)
+
+    def test_north_is_positive_y(self):
+        proj = LocalProjection(*SHANGHAI)
+        _x, y = proj.to_meters(121.47, 31.24)
+        assert y > 0
+
+    def test_east_is_positive_x(self):
+        proj = LocalProjection(*SHANGHAI)
+        x, _y = proj.to_meters(121.48, 31.23)
+        assert x > 0
+
+
+class TestConstruction:
+    def test_for_points_uses_centroid(self):
+        pts = [(121.0, 31.0), (122.0, 32.0)]
+        proj = LocalProjection.for_points(pts)
+        assert proj.origin_lon == pytest.approx(121.5)
+        assert proj.origin_lat == pytest.approx(31.5)
+
+    def test_for_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LocalProjection.for_points([])
+
+    def test_rejects_near_pole(self):
+        with pytest.raises(ValueError):
+            LocalProjection(0.0, 90.0)
+        with pytest.raises(ValueError):
+            LocalProjection(0.0, -89.5)
+
+    def test_rejects_out_of_range_latitude(self):
+        with pytest.raises(ValueError):
+            LocalProjection(0.0, 91.0)
+
+    def test_repr_mentions_origin(self):
+        proj = LocalProjection(*SHANGHAI)
+        assert "121.47" in repr(proj)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.geo.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geo.stats import (
+    MIN_DENSITY_RADIUS_M,
+    centroid,
+    mean_pairwise_distance,
+    medoid_index,
+    spatial_density,
+    spatial_variance,
+)
+
+finite_points = arrays(
+    float,
+    st.tuples(st.integers(2, 20), st.just(2)),
+    elements=st.floats(-1e4, 1e4),
+)
+
+
+class TestCentroidMedoid:
+    def test_centroid_of_square(self):
+        xy = np.array([[0, 0], [2, 0], [0, 2], [2, 2]], dtype=float)
+        assert np.allclose(centroid(xy), [1, 1])
+
+    def test_centroid_rejects_empty(self):
+        with pytest.raises(ValueError):
+            centroid(np.empty((0, 2)))
+
+    def test_medoid_is_closest_to_centre(self):
+        xy = np.array([[0, 0], [10, 0], [5.2, 0.1], [0, 10]], dtype=float)
+        assert medoid_index(xy) == 2
+
+    def test_medoid_single_point(self):
+        assert medoid_index(np.array([[3.0, 4.0]])) == 0
+
+
+class TestVariance:
+    def test_singleton_variance_zero(self):
+        assert spatial_variance(np.array([[1.0, 2.0]])) == 0.0
+
+    def test_identical_points_zero(self):
+        xy = np.tile([5.0, 5.0], (10, 1))
+        assert spatial_variance(xy) == 0.0
+
+    def test_known_value(self):
+        # Two points 2 m apart: Var = ((1+1) + (1+1)) ... Eq. (1) with n-1.
+        xy = np.array([[0.0, 0.0], [2.0, 0.0]])
+        assert spatial_variance(xy) == pytest.approx(2.0)
+
+    def test_scale_quadratic(self):
+        rng = np.random.default_rng(3)
+        xy = rng.normal(size=(30, 2))
+        assert spatial_variance(3 * xy) == pytest.approx(
+            9 * spatial_variance(xy)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(finite_points)
+    def test_non_negative_and_translation_invariant(self, xy):
+        v = spatial_variance(xy)
+        assert v >= 0.0
+        shifted = xy + np.array([123.0, -456.0])
+        assert spatial_variance(shifted) == pytest.approx(v, rel=1e-6, abs=1e-6)
+
+
+class TestMeanPairwise:
+    def test_fewer_than_two_points(self):
+        assert mean_pairwise_distance(np.empty((0, 2))) == 0.0
+        assert mean_pairwise_distance(np.array([[1.0, 1.0]])) == 0.0
+
+    def test_two_points(self):
+        xy = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert mean_pairwise_distance(xy) == pytest.approx(5.0)
+
+    def test_equilateral_triangle(self):
+        xy = np.array([[0, 0], [1, 0], [0.5, np.sqrt(3) / 2]])
+        assert mean_pairwise_distance(xy) == pytest.approx(1.0)
+
+
+class TestDensity:
+    def test_empty_is_zero(self):
+        assert spatial_density(np.empty((0, 2))) == 0.0
+
+    def test_coincident_points_use_radius_floor(self):
+        xy = np.tile([0.0, 0.0], (10, 1))
+        expected = 10 / (np.pi * MIN_DENSITY_RADIUS_M ** 2)
+        assert spatial_density(xy) == pytest.approx(expected)
+
+    def test_tighter_group_is_denser(self):
+        rng = np.random.default_rng(4)
+        base = rng.normal(size=(50, 2))
+        tight = spatial_density(base * 10)
+        loose = spatial_density(base * 100)
+        assert tight > loose
+
+    def test_matches_formula(self):
+        xy = np.array([[0.0, 0.0], [20.0, 0.0]])
+        # Mean distance to centroid is 10 m.
+        assert spatial_density(xy) == pytest.approx(2 / (np.pi * 100))

@@ -1,0 +1,128 @@
+"""Unit tests for the dense GPS trace generator + Definition 5 detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import StayPointConfig
+from repro.core.staypoints import detect_stay_points
+from repro.data.gps import DenseTraceGenerator, PlannedStop
+
+
+@pytest.fixture(scope="module")
+def generator(small_city):
+    return DenseTraceGenerator(small_city, seed=3)
+
+
+class TestGeneration:
+    def test_trace_is_time_ordered(self, generator):
+        trace, _plan = generator.generate_trace(0)
+        assert trace.is_time_ordered()
+        assert len(trace) > 50
+
+    def test_plan_is_returned(self, generator):
+        _trace, plan = generator.generate_trace(1)
+        assert [s.category for s in plan] == [
+            "Residence", "Business & Office", "Restaurant", "Residence"
+        ]
+
+    def test_deterministic(self, small_city):
+        a = DenseTraceGenerator(small_city, seed=5).generate_trace(0)[0]
+        b = DenseTraceGenerator(small_city, seed=5).generate_trace(0)[0]
+        assert [(p.lon, p.t) for p in a.points] == [
+            (p.lon, p.t) for p in b.points
+        ]
+
+    def test_generate_many(self, generator):
+        traces, plans = generator.generate(3)
+        assert len(traces) == len(plans) == 3
+        assert len({t.traj_id for t in traces}) == 3
+
+    def test_custom_plan(self, generator, small_city):
+        plan = [
+            PlannedStop(0.0, 0.0, 1800.0, "Residence"),
+            PlannedStop(800.0, 0.0, 1800.0, "Sports"),
+        ]
+        trace, returned = generator.generate_trace(9, plan)
+        assert list(returned) == plan
+        # The trace visits both venues.
+        xs = [small_city.projection.to_meters(p.lon, p.lat)[0]
+              for p in trace.points]
+        assert min(xs) < 100 and max(xs) > 700
+
+    def test_rejects_bad_args(self, small_city):
+        with pytest.raises(ValueError):
+            DenseTraceGenerator(small_city, sample_s=0)
+        with pytest.raises(ValueError):
+            DenseTraceGenerator(small_city, routing="teleport")
+        gen = DenseTraceGenerator(small_city)
+        with pytest.raises(ValueError):
+            gen.generate_trace(0, plan=[])
+        with pytest.raises(ValueError):
+            gen.generate(-1)
+
+
+class TestManhattanRouting:
+    def test_leg_passes_through_corner(self, small_city):
+        """Grid routing visits the (dest_x, origin_y) corner."""
+        gen = DenseTraceGenerator(
+            small_city, seed=4, noise_m=0.0, routing="manhattan",
+            sample_s=10.0,
+        )
+        plan = [
+            PlannedStop(0.0, 0.0, 1200.0, "Residence"),
+            PlannedStop(800.0, 600.0, 1200.0, "Sports"),
+        ]
+        trace, _ = gen.generate_trace(0, plan)
+        proj = small_city.projection
+        xy = np.array([proj.to_meters(p.lon, p.lat) for p in trace.points])
+        near_corner = np.hypot(xy[:, 0] - 800.0, xy[:, 1] - 0.0).min()
+        assert near_corner < 60.0
+
+    def test_manhattan_leg_longer_than_straight(self, small_city):
+        plan = [
+            PlannedStop(0.0, 0.0, 1200.0, "Residence"),
+            PlannedStop(900.0, 900.0, 1200.0, "Sports"),
+        ]
+        straight = DenseTraceGenerator(
+            small_city, seed=4, routing="straight"
+        ).generate_trace(0, plan)[0]
+        manhattan = DenseTraceGenerator(
+            small_city, seed=4, routing="manhattan"
+        ).generate_trace(0, plan)[0]
+        # Longer path at the same speed means a later arrival.
+        assert manhattan.points[-1].t > straight.points[-1].t
+
+    def test_axis_aligned_leg_identical(self, small_city):
+        """A purely east-west leg has no corner; routes coincide."""
+        plan = [
+            PlannedStop(0.0, 0.0, 1200.0, "Residence"),
+            PlannedStop(700.0, 0.0, 1200.0, "Sports"),
+        ]
+        a = DenseTraceGenerator(
+            small_city, seed=4, routing="straight"
+        ).generate_trace(0, plan)[0]
+        b = DenseTraceGenerator(
+            small_city, seed=4, routing="manhattan"
+        ).generate_trace(0, plan)[0]
+        assert a.points[-1].t == pytest.approx(b.points[-1].t)
+
+
+class TestDefinition5EndToEnd:
+    def test_detector_recovers_planned_stops(self, generator, small_city):
+        """Every planned dwell must surface as exactly one stay point
+        near the true venue — the full Definition 5 path."""
+        config = StayPointConfig(theta_d_m=150.0, theta_t_s=1200.0)
+        trace, plan = generator.generate_trace(4)
+        stays = detect_stay_points(trace, config)
+        assert len(stays) == len(plan)
+        proj = small_city.projection
+        for stay, stop in zip(stays, plan):
+            x, y = proj.to_meters(stay.lon, stay.lat)
+            assert np.hypot(x - stop.x, y - stop.y) < 60.0
+
+    def test_travel_legs_are_not_stays(self, generator):
+        config = StayPointConfig(theta_d_m=150.0, theta_t_s=1200.0)
+        trace, plan = generator.generate_trace(6)
+        stays = detect_stay_points(trace, config)
+        # No more stays than planned stops: legs never qualify.
+        assert len(stays) <= len(plan)

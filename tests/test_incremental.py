@@ -1,0 +1,123 @@
+"""Tests for incremental CSD maintenance."""
+
+import pytest
+
+from repro.core.config import CSDConfig
+from repro.core.constructor import build_csd
+from repro.core.csd import UNASSIGNED
+from repro.core.incremental import IncrementalCSD
+from repro.data.poi import POI
+from repro.data.trajectory import StayPoint
+
+
+def cluster(lon0, major, minor, count, start_id):
+    return [
+        POI(start_id + i, lon0 + i * 1e-5, 31.23, major, minor)
+        for i in range(count)
+    ]
+
+
+@pytest.fixture()
+def base_csd():
+    pois = (
+        cluster(121.4700, "Restaurant", "Cafe", 6, 0)
+        + cluster(121.4760, "Sports", "Gym", 6, 6)
+    )
+    stays = [StayPoint(121.4700, 31.23, float(i)) for i in range(8)]
+    stays += [StayPoint(121.4760, 31.23, float(i)) for i in range(8)]
+    return build_csd(pois, stays, CSDConfig(min_pts=3))
+
+
+class TestOnlineInsertion:
+    def test_compatible_poi_joins_nearest_unit(self, base_csd):
+        updater = IncrementalCSD(base_csd)
+        new = POI(100, 121.47002, 31.23, "Restaurant", "Bakery")
+        unit_id = updater.add_poi(new)
+        assert unit_id != UNASSIGNED
+        assert unit_id == base_csd.find_semantic_unit(0)
+        assert updater.n_pending == 0
+
+    def test_incompatible_tag_stays_pending(self, base_csd):
+        updater = IncrementalCSD(base_csd)
+        new = POI(100, 121.47002, 31.23, "Industry", "Factory")
+        assert updater.add_poi(new) == UNASSIGNED
+        assert updater.n_pending == 1
+
+    def test_isolated_poi_stays_pending(self, base_csd):
+        updater = IncrementalCSD(base_csd)
+        new = POI(100, 121.60, 31.40, "Restaurant", "Cafe")
+        assert updater.add_poi(new) == UNASSIGNED
+
+    def test_chained_insertions_extend_reach(self, base_csd):
+        """A second POI can join through the first absorbed one."""
+        updater = IncrementalCSD(base_csd, merge_radius_m=30.0)
+        first = POI(100, 121.47008, 31.23, "Restaurant", "Cafe")
+        second = POI(101, 121.47030, 31.23, "Restaurant", "Cafe")
+        uid1 = updater.add_poi(first)
+        uid2 = updater.add_poi(second)
+        assert uid1 != UNASSIGNED
+        assert uid2 == uid1
+
+    def test_batch_insertion(self, base_csd):
+        updater = IncrementalCSD(base_csd)
+        news = [
+            POI(100, 121.47003, 31.23, "Restaurant", "Cafe"),
+            POI(101, 121.60, 31.40, "Restaurant", "Cafe"),
+        ]
+        ids = updater.add_pois(news)
+        assert len(ids) == 2 and ids[1] == UNASSIGNED
+        assert updater.n_added == 2
+
+    def test_popularities_must_align(self, base_csd):
+        updater = IncrementalCSD(base_csd)
+        with pytest.raises(ValueError):
+            updater.add_pois(
+                [POI(1, 121.47, 31.23, "Restaurant", "Cafe")], [1.0, 2.0]
+            )
+
+    def test_rejects_bad_thresholds(self, base_csd):
+        with pytest.raises(ValueError):
+            IncrementalCSD(base_csd, merge_radius_m=0.0)
+        with pytest.raises(ValueError):
+            IncrementalCSD(base_csd, merge_cos=1.5)
+
+
+class TestStalenessAndViews:
+    def test_staleness_tracks_pending(self, base_csd):
+        updater = IncrementalCSD(base_csd)
+        updater.add_poi(POI(100, 121.60, 31.40, "Industry", "Factory"))
+        assert updater.staleness() > 0.0
+        assert not updater.needs_rebuild(threshold=0.5)
+        for i in range(12):
+            updater.add_poi(
+                POI(101 + i, 121.60 + i * 0.001, 31.40, "Industry", "Factory")
+            )
+        assert updater.needs_rebuild(threshold=0.5)
+
+    def test_diagram_view_includes_absorbed_poi(self, base_csd):
+        updater = IncrementalCSD(base_csd)
+        new = POI(100, 121.47002, 31.23, "Restaurant", "Bakery")
+        unit_id = updater.add_poi(new)
+        updated = updater.diagram()
+        assert updated.n_pois == base_csd.n_pois + 1
+        assert updated.find_semantic_unit(updated.n_pois - 1) == unit_id
+        member_count = len(updated.unit(unit_id))
+        assert member_count == len(base_csd.unit(unit_id)) + 1
+
+    def test_base_diagram_untouched(self, base_csd):
+        n_before = base_csd.n_pois
+        unit_sizes = [len(u) for u in base_csd.units]
+        updater = IncrementalCSD(base_csd)
+        updater.add_poi(POI(100, 121.47002, 31.23, "Restaurant", "Cafe"))
+        assert base_csd.n_pois == n_before
+        assert [len(u) for u in base_csd.units] == unit_sizes
+
+    def test_recognition_uses_updated_diagram(self, base_csd):
+        """An absorbed POI immediately contributes to recognition."""
+        from repro.core.recognition import CSDRecognizer
+
+        updater = IncrementalCSD(base_csd)
+        updater.add_poi(POI(100, 121.47002, 31.23, "Restaurant", "Cafe"))
+        recognizer = CSDRecognizer(updater.diagram(), 100.0)
+        tags = recognizer.recognize_point(StayPoint(121.47002, 31.23, 0.0))
+        assert tags == {"Restaurant"}

@@ -1,0 +1,70 @@
+"""Round-trip tests for dataset CSV I/O."""
+
+from repro.data.io import (
+    read_pois,
+    read_semantic_trajectories,
+    read_trips,
+    write_pois,
+    write_semantic_trajectories,
+    write_trips,
+)
+from repro.data.trajectory import SemanticTrajectory, StayPoint
+
+
+class TestPOIRoundTrip:
+    def test_roundtrip(self, tmp_path, small_pois):
+        path = tmp_path / "pois.csv"
+        write_pois(path, small_pois[:100])
+        back = read_pois(path)
+        assert back == small_pois[:100]
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_pois(path, [])
+        assert read_pois(path) == []
+
+
+class TestTripRoundTrip:
+    def test_roundtrip(self, tmp_path, small_taxi):
+        path = tmp_path / "trips.csv"
+        write_trips(path, small_taxi.trips[:200])
+        back = read_trips(path)
+        assert back == small_taxi.trips[:200]
+
+    def test_anonymous_passenger_roundtrip(self, tmp_path, small_taxi):
+        anon = [t for t in small_taxi.trips if t.passenger_id is None][:5]
+        path = tmp_path / "anon.csv"
+        write_trips(path, anon)
+        back = read_trips(path)
+        assert all(t.passenger_id is None for t in back)
+
+
+class TestTrajectoryRoundTrip:
+    def test_roundtrip_with_semantics(self, tmp_path):
+        st = SemanticTrajectory(
+            3,
+            [
+                StayPoint(121.0, 31.0, 100.0, frozenset({"Shop & Market"})),
+                StayPoint(121.1, 31.1, 200.0, frozenset({"A", "B"})),
+                StayPoint(121.2, 31.2, 300.0),
+            ],
+        )
+        path = tmp_path / "st.csv"
+        write_semantic_trajectories(path, [st])
+        back = read_semantic_trajectories(path)
+        assert len(back) == 1
+        assert back[0].traj_id == 3
+        assert back[0].stay_points == st.stay_points
+
+    def test_multiple_trajectories_keep_order(self, tmp_path):
+        sts = [
+            SemanticTrajectory(
+                i, [StayPoint(121.0 + i, 31.0, float(k)) for k in range(3)]
+            )
+            for i in range(4)
+        ]
+        path = tmp_path / "many.csv"
+        write_semantic_trajectories(path, sts)
+        back = read_semantic_trajectories(path)
+        assert [st.traj_id for st in back] == [0, 1, 2, 3]
+        assert all(len(st) == 3 for st in back)

@@ -1,0 +1,55 @@
+"""Unit tests for K-Means."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import kmeans
+
+
+class TestKMeans:
+    def test_recovers_blob_centres(self):
+        rng = np.random.default_rng(0)
+        true_centres = np.array([[0, 0], [400, 0], [0, 400]])
+        pts = np.vstack([c + rng.normal(0, 10, (60, 2)) for c in true_centres])
+        labels, centres = kmeans(pts, 3, seed=1)
+        assert centres.shape == (3, 2)
+        for tc in true_centres:
+            nearest = np.sqrt(((centres - tc) ** 2).sum(axis=1)).min()
+            assert nearest < 15.0
+        assert len(set(labels)) == 3
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 100, (50, 2))
+        a = kmeans(pts, 4, seed=7)
+        b = kmeans(pts, 4, seed=7)
+        assert np.array_equal(a[0], b[0])
+        assert np.allclose(a[1], b[1])
+
+    def test_k_clamped_to_distinct_points(self):
+        pts = np.array([[0.0, 0.0], [0.0, 0.0], [5.0, 5.0]])
+        labels, centres = kmeans(pts, 10, seed=0)
+        assert len(centres) == 2
+        assert labels.max() <= 1
+
+    def test_empty_input(self):
+        labels, centres = kmeans(np.empty((0, 2)), 3)
+        assert len(labels) == 0 and len(centres) == 0
+
+    def test_k_one(self):
+        rng = np.random.default_rng(2)
+        pts = rng.normal(5, 1, (30, 2))
+        labels, centres = kmeans(pts, 1, seed=0)
+        assert set(labels) == {0}
+        assert np.allclose(centres[0], pts.mean(axis=0))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 0)
+
+    def test_labels_match_nearest_centre(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 100, (40, 2))
+        labels, centres = kmeans(pts, 3, seed=5)
+        d2 = ((pts[:, None, :] - centres[None, :, :]) ** 2).sum(axis=2)
+        assert np.array_equal(labels, d2.argmin(axis=1))

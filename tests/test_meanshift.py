@@ -1,0 +1,63 @@
+"""Unit tests for Mean Shift."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.meanshift import estimate_bandwidth, mean_shift
+
+
+class TestMeanShift:
+    def test_two_blobs_two_modes(self):
+        rng = np.random.default_rng(0)
+        pts = np.vstack([
+            rng.normal(0, 5, (40, 2)),
+            np.array([500, 500]) + rng.normal(0, 5, (40, 2)),
+        ])
+        labels, modes = mean_shift(pts, bandwidth=50)
+        assert len(modes) == 2
+        assert len(set(labels[:40])) == 1
+        assert len(set(labels[40:])) == 1
+        assert labels[0] != labels[40]
+
+    def test_modes_near_blob_centres(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(0, 5, (60, 2))
+        _labels, modes = mean_shift(pts, bandwidth=50)
+        assert len(modes) == 1
+        assert np.hypot(*modes[0]) < 5.0
+
+    def test_every_point_labelled(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 1000, (50, 2))
+        labels, modes = mean_shift(pts, bandwidth=100)
+        assert np.all(labels >= 0)
+        assert labels.max() == len(modes) - 1
+
+    def test_empty_input(self):
+        labels, modes = mean_shift(np.empty((0, 2)), bandwidth=10)
+        assert len(labels) == 0 and len(modes) == 0
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            mean_shift(np.zeros((2, 2)), bandwidth=0)
+
+
+class TestBandwidthEstimation:
+    def test_scale_tracks_data(self):
+        rng = np.random.default_rng(3)
+        small = rng.normal(0, 10, (50, 2))
+        large = small * 10
+        assert estimate_bandwidth(large) == pytest.approx(
+            10 * estimate_bandwidth(small), rel=1e-6
+        )
+
+    def test_floor_at_one_metre(self):
+        pts = np.zeros((10, 2))
+        assert estimate_bandwidth(pts) == 1.0
+
+    def test_single_point(self):
+        assert estimate_bandwidth(np.array([[1.0, 2.0]])) == 1.0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            estimate_bandwidth(np.zeros((5, 2)), quantile=0.0)

@@ -1,0 +1,151 @@
+"""Unit tests for the evaluation metrics (Eq. 9-12)."""
+
+import numpy as np
+import pytest
+
+from repro.core.extraction import FineGrainedPattern
+from repro.data.trajectory import StayPoint
+from repro.eval.metrics import (
+    pattern_semantic_consistency,
+    pattern_spatial_sparsity,
+    recognition_accuracy,
+    reference_semantics,
+    semantic_cosine,
+    sparsity_histogram,
+    summarize_patterns,
+)
+from repro.eval.reporting import box_stats
+from repro.geo.projection import LocalProjection
+
+DEG_PER_M = 1.0 / 111_195.0
+PROJ = LocalProjection(0.0, 0.0)
+
+
+def pattern_with_groups(groups, items=None):
+    items = items or tuple(f"T{k}" for k in range(len(groups)))
+    reps = [g[0] for g in groups]
+    return FineGrainedPattern(
+        items=items,
+        representatives=reps,
+        member_ids=list(range(len(groups[0]))),
+        groups=groups,
+    )
+
+
+def sp(x_m, tags, t=0.0):
+    return StayPoint(x_m * DEG_PER_M, 0.0, t, frozenset(tags))
+
+
+class TestSemanticCosine:
+    def test_identical_sets(self):
+        assert semantic_cosine(frozenset({"A", "B"}), frozenset({"A", "B"})) == 1.0
+
+    def test_disjoint_sets(self):
+        assert semantic_cosine(frozenset({"A"}), frozenset({"B"})) == 0.0
+
+    def test_partial_overlap(self):
+        value = semantic_cosine(frozenset({"A"}), frozenset({"A", "B"}))
+        assert value == pytest.approx(1 / np.sqrt(2))
+
+    def test_empty_set_is_zero(self):
+        assert semantic_cosine(frozenset(), frozenset({"A"})) == 0.0
+
+
+class TestSparsity:
+    def test_two_point_group(self):
+        p = pattern_with_groups([[sp(0, {"A"}), sp(100, {"A"})]])
+        assert pattern_spatial_sparsity(p, PROJ) == pytest.approx(100.0, rel=1e-3)
+
+    def test_averages_over_positions(self):
+        g1 = [sp(0, {"A"}), sp(100, {"A"})]
+        g2 = [sp(0, {"B"}), sp(300, {"B"})]
+        p = pattern_with_groups([g1, g2])
+        assert pattern_spatial_sparsity(p, PROJ) == pytest.approx(200.0, rel=1e-3)
+
+    def test_singleton_group_zero(self):
+        p = pattern_with_groups([[sp(0, {"A"})]])
+        assert pattern_spatial_sparsity(p, PROJ) == 0.0
+
+
+class TestConsistency:
+    def test_uniform_tags(self):
+        g = [sp(0, {"A"}), sp(10, {"A"}), sp(20, {"A"})]
+        assert pattern_semantic_consistency(pattern_with_groups([g])) == 1.0
+
+    def test_mixed_tags_lower(self):
+        g = [sp(0, {"A"}), sp(10, {"B"})]
+        assert pattern_semantic_consistency(pattern_with_groups([g])) == 0.0
+
+    def test_reference_overrides_own_labels(self):
+        g = [sp(0, {"A"}, t=1.0), sp(10, {"B"}, t=2.0)]
+        p = pattern_with_groups([g])
+        reference = {
+            (g[0].lon, g[0].lat, g[0].t): frozenset({"X"}),
+            (g[1].lon, g[1].lat, g[1].t): frozenset({"X"}),
+        }
+        assert pattern_semantic_consistency(p, reference) == 1.0
+
+    def test_reference_from_database(self, small_recognized):
+        ref = reference_semantics(small_recognized[:10])
+        st = small_recognized[0]
+        spt = st.stay_points[0]
+        assert ref[(spt.lon, spt.lat, spt.t)] == spt.semantics
+
+
+class TestSummaries:
+    def test_summarize(self):
+        g = [sp(0, {"A"}), sp(50, {"A"})]
+        patterns = [pattern_with_groups([g]), pattern_with_groups([g])]
+        metrics = summarize_patterns("X", patterns, PROJ)
+        assert metrics.n_patterns == 2
+        assert metrics.coverage == 4
+        assert metrics.mean_sparsity == pytest.approx(50.0, rel=1e-3)
+        assert metrics.mean_consistency == 1.0
+        assert metrics.as_row()[0] == "X"
+
+    def test_empty_summary(self):
+        metrics = summarize_patterns("X", [], PROJ)
+        assert metrics.n_patterns == 0
+        assert metrics.mean_sparsity == 0.0
+
+
+class TestHistogram:
+    def test_figure9_binning(self):
+        lefts, counts = sparsity_histogram([2.0, 7.0, 7.5, 99.0, 250.0])
+        assert len(lefts) == 20 and lefts[0] == 0.0 and lefts[-1] == 95.0
+        assert counts[0] == 1
+        assert counts[1] == 2
+        assert counts[19] == 2  # 99 and the overflow 250
+
+    def test_total_mass_preserved(self):
+        values = np.random.default_rng(0).uniform(0, 300, 100)
+        _lefts, counts = sparsity_histogram(values)
+        assert counts.sum() == 100
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            sparsity_histogram([1.0], bin_width=0)
+
+
+class TestAccuracyAndBoxes:
+    def test_recognition_accuracy(self):
+        tags = [frozenset({"A"}), frozenset({"B"}), frozenset()]
+        truths = ["A", "A", "C"]
+        rate, acc = recognition_accuracy(tags, truths)
+        assert rate == pytest.approx(2 / 3)
+        assert acc == pytest.approx(0.5)
+
+    def test_accuracy_empty(self):
+        assert recognition_accuracy([], []) == (0.0, 0.0)
+
+    def test_accuracy_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            recognition_accuracy([frozenset()], [])
+
+    def test_box_stats(self):
+        stats = box_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats["min"] == 1.0 and stats["max"] == 5.0
+        assert stats["median"] == 3.0 and stats["mean"] == 3.0
+
+    def test_box_stats_empty_is_nan(self):
+        assert np.isnan(box_stats([])["median"])

@@ -1,0 +1,77 @@
+"""Round-trip tests for CSD persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.recognition import CSDRecognizer
+from repro.data.persistence import load_csd, save_csd
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, small_csd, tmp_path):
+        path = tmp_path / "csd.json"
+        save_csd(path, small_csd)
+        loaded = load_csd(path)
+        assert loaded.n_pois == small_csd.n_pois
+        assert loaded.n_units == small_csd.n_units
+        assert loaded.tag_level == small_csd.tag_level
+        assert np.array_equal(loaded.unit_of, small_csd.unit_of)
+        assert np.allclose(loaded.popularity, small_csd.popularity)
+        assert loaded.pois == small_csd.pois
+
+    def test_units_preserved(self, small_csd, tmp_path):
+        path = tmp_path / "csd.json"
+        save_csd(path, small_csd)
+        loaded = load_csd(path)
+        for a, b in zip(loaded.units, small_csd.units):
+            assert a.unit_id == b.unit_id
+            assert a.poi_indices == b.poi_indices
+            assert a.semantic_distribution == pytest.approx(
+                b.semantic_distribution
+            )
+
+    def test_recognition_identical_after_reload(
+        self, small_csd, small_trajectories, small_csd_config, tmp_path
+    ):
+        """The loaded diagram must recognise exactly like the original."""
+        path = tmp_path / "csd.json"
+        save_csd(path, small_csd)
+        loaded = load_csd(path)
+        original = CSDRecognizer(small_csd, small_csd_config.r3sigma_m)
+        reloaded = CSDRecognizer(loaded, small_csd_config.r3sigma_m)
+        for st in small_trajectories[:50]:
+            for sp in st.stay_points:
+                assert original.recognize_point(sp) == \
+                    reloaded.recognize_point(sp)
+
+
+class TestCorruptArtifacts:
+    def test_unknown_version_rejected(self, small_csd, tmp_path):
+        path = tmp_path / "csd.json"
+        save_csd(path, small_csd)
+        document = json.loads(path.read_text())
+        document["format_version"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="format version"):
+            load_csd(path)
+
+    def test_inconsistent_membership_rejected(self, small_csd, tmp_path):
+        path = tmp_path / "csd.json"
+        save_csd(path, small_csd)
+        document = json.loads(path.read_text())
+        document["units"][0]["poi_indices"][0] = 10**9  # out of range
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="outside the dataset"):
+            load_csd(path)
+
+    def test_membership_disagreement_rejected(self, small_csd, tmp_path):
+        path = tmp_path / "csd.json"
+        save_csd(path, small_csd)
+        document = json.loads(path.read_text())
+        victim = document["units"][0]["poi_indices"][0]
+        document["unit_of"][victim] = -1
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="disagrees"):
+            load_csd(path)

@@ -1,0 +1,95 @@
+"""Unit and property tests for PrefixSpan."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mining.prefixspan import prefixspan
+
+
+def brute_force_support(sequences, pattern):
+    """Number of sequences containing pattern as a subsequence."""
+    def contains(seq, pat):
+        it = iter(seq)
+        return all(any(x == p for x in it) for p in pat)
+
+    return sum(1 for seq in sequences if contains(seq, pattern))
+
+
+class TestKnownCases:
+    def test_textbook_example(self):
+        seqs = [list("abcab"), list("abab"), list("acb"), list("bca")]
+        patterns = {p.items: p.support for p in prefixspan(seqs, 3, min_length=2)}
+        assert patterns == {("a", "b"): 3, ("b", "a"): 3}
+
+    def test_single_items_when_min_length_one(self):
+        seqs = [list("ab"), list("ac"), list("a")]
+        patterns = {p.items: p.support for p in prefixspan(seqs, 2, min_length=1)}
+        assert patterns[("a",)] == 3
+
+    def test_support_counts_sequences_not_occurrences(self):
+        seqs = [list("aaaa"), list("a")]
+        patterns = {p.items: p.support for p in prefixspan(seqs, 1, min_length=1, max_length=1)}
+        assert patterns[("a",)] == 2
+
+    def test_none_items_are_skipped(self):
+        seqs = [["a", None, "b"], ["a", "b"], [None, None]]
+        patterns = {p.items: p.support for p in prefixspan(seqs, 2, min_length=2)}
+        assert patterns == {("a", "b"): 2}
+
+    def test_max_length_bounds_output(self):
+        seqs = [list("abcd")] * 3
+        patterns = prefixspan(seqs, 2, min_length=1, max_length=2)
+        assert max(len(p.items) for p in patterns) == 2
+
+    def test_empty_database(self):
+        assert prefixspan([], 1) == []
+
+    def test_occurrences_are_valid_matches(self):
+        seqs = [list("xayazb"), list("aab"), list("ab")]
+        for pattern in prefixspan(seqs, 2, min_length=2):
+            for seq_idx, positions in pattern.occurrences:
+                assert len(positions) == len(pattern.items)
+                assert list(positions) == sorted(positions)
+                for pos, item in zip(positions, pattern.items):
+                    assert seqs[seq_idx][pos] == item
+
+    def test_output_sorted_by_support(self):
+        seqs = [list("ab")] * 5 + [list("cd")] * 3
+        patterns = prefixspan(seqs, 2, min_length=2)
+        supports = [p.support for p in patterns]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            prefixspan([], 0)
+        with pytest.raises(ValueError):
+            prefixspan([], 1, min_length=3, max_length=2)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abc"), max_size=6),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(1, 3),
+    )
+    def test_supports_match_brute_force(self, seqs, min_support):
+        patterns = prefixspan(seqs, min_support, min_length=1, max_length=4)
+        found = {p.items: p.support for p in patterns}
+        # Every reported support is the brute-force support.
+        for items, support in found.items():
+            assert support == brute_force_support(seqs, items)
+        # Completeness at length <= 2 over the alphabet.
+        alphabet = sorted({x for s in seqs for x in s})
+        for a in alphabet:
+            if brute_force_support(seqs, (a,)) >= min_support:
+                assert (a,) in found
+        for a, b in combinations(alphabet + alphabet, 2):
+            sup = brute_force_support(seqs, (a, b))
+            if sup >= min_support:
+                assert found.get((a, b)) == sup

@@ -1,0 +1,174 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.containment import contains
+from repro.data.trajectory import SemanticTrajectory, StayPoint
+from repro.eval.metrics import semantic_cosine
+from repro.geo.stats import mean_pairwise_distance, spatial_density
+
+DEG_PER_M = 1.0 / 111_195.0
+
+tag_sets = st.frozensets(st.sampled_from("ABCDE"), max_size=3)
+
+
+def build_st(traj_id, stops):
+    return SemanticTrajectory(
+        traj_id,
+        [
+            StayPoint(x * DEG_PER_M, y * DEG_PER_M, float(t), tags)
+            for x, y, t, tags in stops
+        ],
+    )
+
+
+class TestSemanticCosineProperties:
+    @given(tag_sets, tag_sets)
+    def test_range_and_symmetry(self, a, b):
+        value = semantic_cosine(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-12
+        assert value == semantic_cosine(b, a)
+
+    @given(tag_sets)
+    def test_self_similarity_is_one(self, a):
+        expected = 1.0 if a else 0.0
+        assert semantic_cosine(a, a) == expected
+
+    @given(tag_sets, tag_sets)
+    def test_zero_iff_disjoint(self, a, b):
+        value = semantic_cosine(a, b)
+        if a and b:
+            assert (value == 0.0) == (not (a & b))
+
+
+class TestContainmentProperties:
+    stop_lists = st.lists(
+        st.tuples(
+            st.floats(0, 500), st.floats(0, 500),
+            st.integers(0, 3000), tag_sets.filter(bool),
+        ),
+        min_size=1,
+        max_size=4,
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(stop_lists)
+    def test_reflexive_when_sorted(self, stops):
+        stops = sorted(stops, key=lambda s: s[2])
+        # Containment of a trajectory in itself holds whenever the
+        # trajectory satisfies its own temporal constraint.
+        gaps_ok = all(
+            stops[i + 1][2] - stops[i][2] <= 3600
+            for i in range(len(stops) - 1)
+        )
+        traj = build_st(0, stops)
+        match = contains(traj, traj, eps_t_m=1.0, delta_t_s=3600.0)
+        if gaps_ok:
+            assert match is not None
+        else:
+            assert match is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(stop_lists, st.floats(1.0, 200.0))
+    def test_matched_indices_are_increasing(self, stops, eps):
+        stops = sorted(stops, key=lambda s: s[2])
+        host = build_st(0, stops)
+        pattern = build_st(1, stops[: max(1, len(stops) - 1)])
+        match = contains(host, pattern, eps, 1e9)
+        if match is not None:
+            assert list(match) == sorted(match)
+            assert len(match) == len(pattern)
+
+
+class TestDensitySparsityProperties:
+    points = st.lists(
+        st.tuples(st.floats(-1000, 1000), st.floats(-1000, 1000)),
+        min_size=2,
+        max_size=30,
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(points)
+    def test_density_positive_and_scale_antitone(self, pts):
+        xy = np.asarray(pts)
+        d1 = spatial_density(xy)
+        d2 = spatial_density(xy * 10.0)
+        assert d1 > 0.0
+        assert d2 <= d1 + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(points)
+    def test_sparsity_translation_invariant(self, pts):
+        xy = np.asarray(pts)
+        a = mean_pairwise_distance(xy)
+        b = mean_pairwise_distance(xy + np.array([77.0, -33.0]))
+        assert a >= 0.0
+        assert b == np.float64(a) or abs(a - b) < 1e-6 * max(a, 1.0)
+
+
+class TestMergePartitionProperty:
+    pois = st.lists(
+        st.tuples(st.floats(0, 300), st.floats(0, 300),
+                  st.sampled_from("ABC")),
+        min_size=4,
+        max_size=25,
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(pois, st.floats(0.5, 1.0), st.floats(10.0, 100.0))
+    def test_merge_never_duplicates_or_invents(self, items, cos, radius):
+        """Merging preserves unit members exactly once and only ever
+        adds leftovers; it never invents or duplicates indices."""
+        import numpy as np
+        from repro.core.merging import merge_units
+
+        n = len(items)
+        xy = np.array([(x, y) for x, y, _t in items])
+        tags = [t for _x, _y, t in items]
+        half = n // 2
+        units = [[i] for i in range(half)]
+        leftovers = list(range(half, n))
+        merged = merge_units(
+            units, leftovers, xy, tags, np.ones(n), cos, radius
+        )
+        flat = [i for u in merged for i in u]
+        assert len(flat) == len(set(flat))
+        # Every original unit member survives.
+        assert set(range(half)) <= set(flat)
+        # Nothing outside the input appears.
+        assert set(flat) <= set(range(n))
+
+
+class TestExtractionInvariants:
+    def test_groups_align_with_support(self, small_recognized,
+                                       small_mining_config, small_city):
+        from repro.core.extraction import counterpart_cluster
+
+        patterns = counterpart_cluster(
+            small_recognized[:1500], small_mining_config,
+            small_city.projection,
+        )
+        for p in patterns:
+            assert p.support >= small_mining_config.support
+            assert len(p.groups) == len(p.items) == len(p.representatives)
+            for k, group in enumerate(p.groups):
+                assert len(group) == p.support
+                # Every member's time gap to the previous position obeys
+                # the temporal constraint (Def. 7 cond. ii).
+                if k > 0:
+                    for prev, cur in zip(p.groups[k - 1], group):
+                        assert cur.t - prev.t <= small_mining_config.delta_t_s + 1e-6
+
+
+class TestPipelineDeterminism:
+    def test_mining_is_deterministic(self, small_pois, small_trajectories,
+                                     small_csd_config, small_mining_config):
+        from repro import PervasiveMiner
+
+        miner = PervasiveMiner(small_csd_config, small_mining_config)
+        a = miner.mine(small_pois, small_trajectories[:800])
+        b = miner.mine(small_pois, small_trajectories[:800])
+        assert [(p.items, p.support) for p in a.patterns] == [
+            (p.items, p.support) for p in b.patterns
+        ]

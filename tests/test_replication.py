@@ -1,0 +1,50 @@
+"""Tests for the seed-replication harness."""
+
+import pytest
+
+from repro.baselines.registry import Approach
+from repro.core.config import MiningConfig
+from repro.eval.replication import ReplicatedMetric, _summarise, replicate
+
+TINY = {
+    "n_pois": 2_000, "n_passengers": 50, "days": 4, "extent_m": 3_000.0
+}
+
+
+class TestSummarise:
+    def test_mean_and_std(self):
+        m = _summarise([1.0, 2.0, 3.0])
+        assert m.mean == pytest.approx(2.0)
+        assert m.std == pytest.approx(1.0)
+        assert m.values == [1.0, 2.0, 3.0]
+
+    def test_single_value_zero_std(self):
+        m = _summarise([5.0])
+        assert m.std == 0.0
+
+
+class TestReplicate:
+    def test_two_seeds_two_values(self):
+        results = replicate(
+            n_seeds=2,
+            approaches=[Approach("CSD", "PM")],
+            mining_config=MiningConfig(support=8, rho=0.0005),
+            workload_kwargs=TINY,
+        )
+        metric = results["CSD-PM"].n_patterns
+        assert len(metric.values) == 2
+        assert metric.mean >= 0
+
+    def test_seeds_produce_different_worlds(self):
+        results = replicate(
+            n_seeds=2,
+            approaches=[Approach("CSD", "PM")],
+            mining_config=MiningConfig(support=8, rho=0.0005),
+            workload_kwargs=TINY,
+        )
+        values = results["CSD-PM"].coverage.values
+        assert values[0] != values[1]
+
+    def test_rejects_bad_n_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(n_seeds=0)

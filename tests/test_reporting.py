@@ -1,0 +1,76 @@
+"""Dedicated tests for the text reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import (
+    box_stats,
+    format_table,
+    render_histogram,
+    series_table,
+)
+
+
+class TestFormatTable:
+    def test_column_alignment(self):
+        text = format_table(
+            ["a", "long_header"], [("x", 1), ("longer_value", 2)]
+        )
+        lines = text.splitlines()
+        # Header, separator, two rows.
+        assert len(lines) == 4
+        # All separator dashes align with the widest cells.
+        assert set(lines[1].replace("  ", "")) == {"-"}
+
+    def test_float_precision(self):
+        text = format_table(["v"], [(1.23456789,)], precision=2)
+        assert "1.23" in text and "1.2345" not in text
+
+    def test_mixed_types(self):
+        text = format_table(["a", "b", "c"], [("s", 42, 3.5)])
+        assert "s" in text and "42" in text and "3.500" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestHistogramRendering:
+    def test_bar_lengths_proportional(self):
+        text = render_histogram([0.0, 5.0, 10.0], [10, 5, 0], bin_width=5)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 2 * lines[1].count("#")
+        assert lines[2].count("#") == 0
+
+    def test_zero_counts_no_bars(self):
+        text = render_histogram([0.0], [0], bin_width=5)
+        assert "#" not in text
+
+    def test_ranges_printed(self):
+        text = render_histogram([0.0, 20.0], [1, 1], bin_width=20)
+        assert "[    0,   20)" in text
+        assert "[   20,   40)" in text
+
+
+class TestSeriesTable:
+    def test_rows_match_x_values(self):
+        text = series_table("x", [1, 2, 3], {"s": [0.1, 0.2, 0.3]})
+        assert len(text.splitlines()) == 5
+        assert "0.200" in text
+
+    def test_multiple_series_columns(self):
+        text = series_table("x", [1], {"a": [1.0], "b": [2.0]})
+        header = text.splitlines()[0]
+        assert "a" in header and "b" in header
+
+
+class TestBoxStats:
+    def test_quartiles_of_uniform(self):
+        values = list(np.linspace(0, 100, 101))
+        stats = box_stats(values)
+        assert stats["q1"] == pytest.approx(25.0)
+        assert stats["q3"] == pytest.approx(75.0)
+
+    def test_single_value(self):
+        stats = box_stats([7.0])
+        assert stats["min"] == stats["max"] == stats["median"] == 7.0

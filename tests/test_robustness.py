@@ -1,0 +1,89 @@
+"""Tests for the GPS-noise robustness harness."""
+
+import numpy as np
+import pytest
+
+from repro.data.trajectory import SemanticTrajectory, StayPoint
+from repro.eval.robustness import perturb_trajectories, run_noise_sweep
+from repro.geo.projection import LocalProjection
+
+PROJ = LocalProjection(121.47, 31.23)
+
+
+def traj(n=5):
+    return SemanticTrajectory(
+        0,
+        [StayPoint(121.47, 31.23, float(i), frozenset({"A"})) for i in range(n)],
+    )
+
+
+class TestPerturbation:
+    def test_zero_noise_is_identity(self):
+        out = perturb_trajectories([traj()], 0.0, PROJ, outlier_rate=0.0)
+        assert out[0].stay_points == traj().stay_points
+
+    def test_noise_moves_points(self):
+        out = perturb_trajectories([traj()], 20.0, PROJ, seed=1)
+        moved = [
+            sp for sp, orig in zip(out[0].stay_points, traj().stay_points)
+            if (sp.lon, sp.lat) != (orig.lon, orig.lat)
+        ]
+        assert len(moved) == 5
+
+    def test_noise_magnitude_plausible(self):
+        n = 400
+        st = traj(n)
+        out = perturb_trajectories([st], 30.0, PROJ, seed=2)
+        xy = PROJ.to_meters_array(
+            [(sp.lon, sp.lat) for sp in out[0].stay_points]
+        )
+        # Empirical std per axis should be near 30 m.
+        assert 24.0 < xy[:, 0].std() < 36.0
+
+    def test_semantics_and_time_preserved(self):
+        out = perturb_trajectories([traj()], 15.0, PROJ, seed=3)
+        for sp, orig in zip(out[0].stay_points, traj().stay_points):
+            assert sp.semantics == orig.semantics
+            assert sp.t == orig.t
+
+    def test_outliers_add_large_jumps(self):
+        n = 500
+        out = perturb_trajectories(
+            [traj(n)], 0.0, PROJ, seed=4, outlier_rate=1.0, outlier_m=200.0
+        )
+        xy = PROJ.to_meters_array(
+            [(sp.lon, sp.lat) for sp in out[0].stay_points]
+        )
+        radii = np.sqrt((xy ** 2).sum(axis=1))
+        assert radii.max() > 100.0
+
+    def test_deterministic(self):
+        a = perturb_trajectories([traj()], 20.0, PROJ, seed=9)
+        b = perturb_trajectories([traj()], 20.0, PROJ, seed=9)
+        assert a[0].stay_points == b[0].stay_points
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            perturb_trajectories([], -1.0, PROJ)
+        with pytest.raises(ValueError):
+            perturb_trajectories([], 1.0, PROJ, outlier_rate=2.0)
+
+
+class TestNoiseSweep:
+    def test_sweep_on_small_workload(self):
+        from repro.core.config import MiningConfig
+        from repro.eval.experiments import ApproachRunner, make_workload
+
+        workload = make_workload(
+            n_pois=2_500, n_passengers=60, days=5, extent_m=3_000.0, seed=2
+        )
+        runner = ApproachRunner(workload)
+        points = run_noise_sweep(
+            workload, runner.csd, noise_levels_m=(0.0, 40.0)
+        )
+        assert len(points) == 2
+        clean, noisy = points
+        assert clean.voting_accuracy > 0.9
+        assert 0.0 <= noisy.voting_accuracy <= 1.0
+        # Voting holds up at least as well as nearest-POI.
+        assert noisy.voting_accuracy >= noisy.nearest_accuracy - 0.02

@@ -1,0 +1,83 @@
+"""Tests for minor-category (98-type) semantics — the granularity extension."""
+
+import pytest
+
+from repro.core.config import CSDConfig
+from repro.core.constructor import build_csd
+from repro.core.recognition import CSDRecognizer
+from repro.data.categories import MINOR_CATEGORIES
+from repro.data.poi import POI
+from repro.data.trajectory import StayPoint
+
+
+def minor_cluster(lon0, major, minor, count, start_id):
+    return [
+        POI(start_id + i, lon0 + i * 1e-5, 31.23, major, minor)
+        for i in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def minor_csd():
+    """Two minor-type plazas of the same major category, ~300 m apart."""
+    pois = (
+        minor_cluster(121.4700, "Restaurant", "Noodle House", 6, 0)
+        + minor_cluster(121.4732, "Restaurant", "Cafe", 6, 6)
+    )
+    stays = [StayPoint(121.4700, 31.23, float(i)) for i in range(8)]
+    stays += [StayPoint(121.4732, 31.23, float(i)) for i in range(8)]
+    return build_csd(
+        pois, stays, CSDConfig(min_pts=3, semantic_level="minor")
+    )
+
+
+class TestMinorLevel:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CSDConfig(semantic_level="nano")
+
+    def test_units_separate_minor_types(self, minor_csd):
+        """At minor granularity the two plazas cannot share a unit even
+        though both are Restaurants."""
+        unit_a = minor_csd.find_semantic_unit(0)
+        unit_b = minor_csd.find_semantic_unit(6)
+        assert unit_a != unit_b
+        assert minor_csd.unit(unit_a).tags == {"Noodle House"}
+        assert minor_csd.unit(unit_b).tags == {"Cafe"}
+
+    def test_recognition_returns_minor_tags(self, minor_csd):
+        recognizer = CSDRecognizer(minor_csd, 100.0)
+        tags = recognizer.recognize_point(StayPoint(121.4700, 31.23, 0.0))
+        assert tags == {"Noodle House"}
+
+    def test_poi_tag_levels(self, minor_csd):
+        assert minor_csd.poi_tag(0) == "Noodle House"
+        assert minor_csd.tag_level == "minor"
+
+    def test_major_level_merges_minor_types(self):
+        """The same geometry at major level yields Restaurant units."""
+        pois = (
+            minor_cluster(121.4700, "Restaurant", "Noodle House", 4, 0)
+            + minor_cluster(121.47005, "Restaurant", "Cafe", 4, 4)
+        )
+        stays = [StayPoint(121.4700, 31.23, float(i)) for i in range(8)]
+        csd = build_csd(pois, stays, CSDConfig(min_pts=3))
+        unit = csd.unit(csd.find_semantic_unit(0))
+        assert unit.tags == {"Restaurant"}
+
+    def test_end_to_end_minor_pipeline(self, small_pois, small_trajectories,
+                                       small_city):
+        """The whole pipeline runs at minor granularity and produces
+        minor-tagged recognitions."""
+        config = CSDConfig(alpha=0.7, semantic_level="minor")
+        stays = [sp for st in small_trajectories for sp in st.stay_points]
+        csd = build_csd(small_pois, stays, config, small_city.projection)
+        recognizer = CSDRecognizer(csd, config.r3sigma_m)
+        recognized = recognizer.recognize(small_trajectories[:300])
+        all_minors = {m for ms in MINOR_CATEGORIES.values() for m in ms}
+        labeled = [
+            sp for st in recognized for sp in st.stay_points if sp.semantics
+        ]
+        assert labeled
+        for sp in labeled[:200]:
+            assert sp.semantics <= all_minors

@@ -1,0 +1,77 @@
+"""Tests for the module-level trip-linking functions (CLI entry path)."""
+
+from repro.data.taxi import (
+    SECONDS_PER_DAY,
+    TaxiTrip,
+    link_trips_by_day,
+    trips_to_mining_trajectories,
+)
+from repro.data.trajectory import StayPoint
+
+
+def trip(trip_id, pid, day, hour, lon=121.47):
+    t0 = day * SECONDS_PER_DAY + hour * 3600.0
+    return TaxiTrip(
+        trip_id=trip_id,
+        passenger_id=pid,
+        pickup=StayPoint(lon, 31.23, t0),
+        dropoff=StayPoint(lon + 0.01, 31.23, t0 + 1200.0),
+        pickup_truth="Residence",
+        dropoff_truth="Business & Office",
+    )
+
+
+class TestLinkTripsByDay:
+    def test_two_trips_same_day_chain(self):
+        trips = [trip(0, 7, 0, 8.0), trip(1, 7, 0, 18.0)]
+        linked = link_trips_by_day(trips)
+        assert len(linked) == 1
+        assert len(linked[0]) == 4
+        assert linked[0].is_time_ordered()
+
+    def test_different_days_do_not_chain(self):
+        trips = [trip(0, 7, 0, 8.0), trip(1, 7, 1, 8.0)]
+        assert link_trips_by_day(trips, min_points=3) == []
+
+    def test_single_trip_below_min_points(self):
+        assert link_trips_by_day([trip(0, 7, 0, 8.0)], min_points=3) == []
+
+    def test_min_points_two_keeps_singles(self):
+        linked = link_trips_by_day([trip(0, 7, 0, 8.0)], min_points=2)
+        assert len(linked) == 1
+
+    def test_anonymous_trips_ignored(self):
+        trips = [trip(0, None, 0, 8.0), trip(1, None, 0, 18.0)]
+        assert link_trips_by_day(trips) == []
+
+    def test_passengers_kept_separate(self):
+        trips = [
+            trip(0, 1, 0, 8.0), trip(1, 1, 0, 18.0),
+            trip(2, 2, 0, 9.0), trip(3, 2, 0, 19.0),
+        ]
+        linked = link_trips_by_day(trips)
+        assert len(linked) == 2
+
+    def test_out_of_order_input_sorted(self):
+        trips = [trip(1, 7, 0, 18.0), trip(0, 7, 0, 8.0)]
+        linked = link_trips_by_day(trips)
+        assert linked[0].is_time_ordered()
+
+
+class TestMiningCorpus:
+    def test_combines_linked_and_anonymous(self):
+        trips = [
+            trip(0, 1, 0, 8.0), trip(1, 1, 0, 18.0),  # one linked chain
+            trip(2, None, 0, 9.0), trip(3, None, 0, 10.0),  # two singles
+        ]
+        corpus = trips_to_mining_trajectories(trips)
+        assert len(corpus) == 3
+        assert sorted(len(st) for st in corpus) == [2, 2, 4]
+
+    def test_ids_unique_and_sequential(self):
+        trips = [trip(i, None, 0, 8.0 + i) for i in range(5)]
+        corpus = trips_to_mining_trajectories(trips)
+        assert [st.traj_id for st in corpus] == [0, 1, 2, 3, 4]
+
+    def test_empty(self):
+        assert trips_to_mining_trajectories([]) == []

@@ -1,0 +1,139 @@
+"""Tests for dataset validation."""
+
+import pytest
+
+from repro.data.poi import POI
+from repro.data.trajectory import SemanticTrajectory, StayPoint
+from repro.data.validation import validate_dataset
+
+
+def poi_grid(n, lon0=121.47, spacing=1e-5):
+    return [
+        POI(i, lon0 + (i % 10) * spacing, 31.23 + (i // 10) * spacing,
+            "Restaurant", "Cafe")
+        for i in range(n)
+    ]
+
+
+def trajs(n, lon=121.47):
+    return [
+        SemanticTrajectory(
+            i,
+            [StayPoint(lon, 31.23, 0.0), StayPoint(lon + 0.01, 31.23, 600.0)],
+        )
+        for i in range(n)
+    ]
+
+
+class TestValidation:
+    def test_clean_dataset_ok(self):
+        report = validate_dataset(poi_grid(100), trajs(20))
+        assert report.ok
+        assert report.n_pois == 100
+        assert report.n_trajectories == 20
+        assert report.n_stay_points == 40
+
+    def test_empty_inputs_are_errors(self):
+        assert not validate_dataset([], trajs(1)).ok
+        assert not validate_dataset(poi_grid(5), []).ok
+
+    def test_bad_coordinates_error(self):
+        bad = [POI(0, 500.0, 31.23, "Restaurant", "Cafe")]
+        report = validate_dataset(bad + poi_grid(10), trajs(2))
+        assert not report.ok
+        assert any(i.code == "bad-coordinates" for i in report.errors())
+
+    def test_time_disorder_error(self):
+        bad = [SemanticTrajectory(0, [
+            StayPoint(121.47, 31.23, 100.0), StayPoint(121.47, 31.23, 50.0)
+        ])]
+        report = validate_dataset(poi_grid(10), bad)
+        assert any(i.code == "time-disorder" for i in report.errors())
+
+    def test_sparse_pois_warning(self):
+        sparse = [
+            POI(i, 121.0 + i * 0.01, 31.0, "Restaurant", "Cafe")
+            for i in range(20)
+        ]
+        report = validate_dataset(sparse, trajs(2, lon=121.05))
+        assert report.ok  # warning, not error
+        assert any(i.code == "sparse-pois" for i in report.warnings())
+
+    def test_dense_pois_no_warning(self):
+        report = validate_dataset(poi_grid(100), trajs(5))
+        assert not any(i.code == "sparse-pois" for i in report.warnings())
+
+    def test_short_trajectory_warning(self):
+        shorties = [SemanticTrajectory(0, [StayPoint(121.47, 31.23, 0.0)])]
+        report = validate_dataset(poi_grid(50), shorties)
+        assert any(i.code == "short-trajectories" for i in report.warnings())
+
+    def test_pre_tagged_warning(self):
+        tagged = [SemanticTrajectory(0, [
+            StayPoint(121.47, 31.23, 0.0, frozenset({"X"})),
+            StayPoint(121.48, 31.23, 9.0),
+        ])]
+        report = validate_dataset(poi_grid(50), tagged)
+        assert any(i.code == "pre-tagged" for i in report.warnings())
+
+    def test_huge_extent_warning(self):
+        spread = poi_grid(50) + [POI(999, 100.0, 10.0, "Restaurant", "Cafe")]
+        report = validate_dataset(spread, trajs(2))
+        assert any(i.code == "huge-extent" for i in report.warnings())
+
+    def test_extent_reported(self):
+        report = validate_dataset(poi_grid(100), trajs(5))
+        assert report.extent_km > 0
+
+
+class TestNearestQuery:
+    def test_nearest_single(self):
+        import numpy as np
+        from repro.geo.index import GridIndex
+
+        xy = np.array([[0.0, 0.0], [10.0, 0.0], [100.0, 0.0]])
+        idx = GridIndex(xy, cell_size=20.0)
+        assert list(idx.nearest(9.0, 0.0, k=1)) == [1]
+
+    def test_nearest_k_ordered(self):
+        import numpy as np
+        from repro.geo.index import GridIndex
+
+        rng = np.random.default_rng(0)
+        xy = rng.uniform(0, 1000, (200, 2))
+        idx = GridIndex(xy, cell_size=50.0)
+        got = idx.nearest(500.0, 500.0, k=5)
+        d2 = ((xy - (500.0, 500.0)) ** 2).sum(axis=1)
+        want = sorted(range(200), key=lambda i: d2[i])[:5]
+        assert list(got) == want
+
+    def test_nearest_sparse_fallback(self):
+        import numpy as np
+        from repro.geo.index import GridIndex
+
+        xy = np.array([[0.0, 0.0], [100_000.0, 0.0]])
+        idx = GridIndex(xy, cell_size=10.0)
+        assert list(idx.nearest(90_000.0, 0.0, k=1)) == [1]
+
+    def test_nearest_k_exceeds_size(self):
+        import numpy as np
+        from repro.geo.index import GridIndex
+
+        idx = GridIndex(np.array([[0.0, 0.0]]), cell_size=10.0)
+        assert len(idx.nearest(0.0, 0.0, k=5)) == 1
+
+    def test_nearest_empty_index(self):
+        import numpy as np
+        from repro.geo.index import GridIndex
+
+        idx = GridIndex(np.empty((0, 2)), cell_size=10.0)
+        assert len(idx.nearest(0.0, 0.0)) == 0
+
+    def test_nearest_rejects_bad_k(self):
+        import numpy as np
+        from repro.geo.index import GridIndex
+
+        idx = GridIndex(np.zeros((2, 2)), cell_size=10.0)
+        import pytest
+        with pytest.raises(ValueError):
+            idx.nearest(0.0, 0.0, k=0)

@@ -1,0 +1,80 @@
+"""Tests for SVG rendering."""
+
+import pytest
+
+from repro.viz.svg import (
+    CATEGORY_COLORS,
+    render_csd_svg,
+    render_patterns_svg,
+    save_svg,
+)
+from tests.test_patterns import make_pattern, PROJ
+
+
+class TestCSDRendering:
+    def test_valid_svg(self, small_csd):
+        svg = render_csd_svg(small_csd)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "<polygon" in svg or "<circle" in svg
+
+    def test_unit_titles_present(self, small_csd):
+        svg = render_csd_svg(small_csd)
+        assert "<title>unit 0:" in svg
+
+    def test_colors_cover_all_categories(self):
+        from repro.data.categories import MAJOR_CATEGORIES
+
+        assert set(CATEGORY_COLORS) == set(MAJOR_CATEGORIES)
+
+    def test_empty_diagram_rejected(self):
+        import numpy as np
+
+        from repro.core.csd import CitySemanticDiagram
+        from repro.geo.projection import LocalProjection
+
+        empty = CitySemanticDiagram(
+            [], LocalProjection(121.47, 31.23), np.empty((0, 2)),
+            np.empty(0), [], np.empty(0, dtype=int),
+        )
+        with pytest.raises(ValueError):
+            render_csd_svg(empty)
+
+
+class TestPatternRendering:
+    def test_valid_svg_with_arrows(self):
+        patterns = [
+            make_pattern(["A", "B"], [0, 2000], support=10),
+            make_pattern(["B", "C"], [2000, 4000], support=5),
+        ]
+        svg = render_patterns_svg(patterns, PROJ)
+        assert svg.startswith("<svg")
+        assert svg.count("<polyline") == 2
+        assert "marker-end" in svg
+        # Titles are HTML-escaped.
+        assert "A -&gt; B (support 10)" in svg
+
+    def test_support_coloring(self):
+        patterns = [make_pattern(["A", "B"], [0, 2000], support=10)]
+        svg = render_patterns_svg(patterns, PROJ, color_by="support")
+        assert "rgb(" in svg
+
+    def test_rejects_empty_and_bad_mode(self):
+        with pytest.raises(ValueError):
+            render_patterns_svg([], PROJ)
+        with pytest.raises(ValueError):
+            render_patterns_svg(
+                [make_pattern(["A", "B"], [0, 1000])], PROJ, color_by="magic"
+            )
+
+
+class TestSaving:
+    def test_save_and_reload(self, small_csd, tmp_path):
+        svg = render_csd_svg(small_csd)
+        path = tmp_path / "csd.svg"
+        save_svg(path, svg)
+        assert path.read_text() == svg
+
+    def test_save_rejects_non_svg(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_svg(tmp_path / "x.svg", "<html></html>")
