@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Kernel speedup bench: seed per-point loops vs. the batched CSR paths.
+
+Times the two hottest pipeline stages on the standard bench workload
+(12k POIs, 250 passengers x 7 days — DESIGN.md section 3):
+
+* popularity (Eq. 3): per-POI ``query_radius`` loop vs. the vectorised
+  ``compute_popularity`` (one CSR batch query + ``np.bincount``);
+* recognition (Algorithm 3): per-stay-point dict voting vs.
+  ``CSDRecognizer.recognize_points`` (one CSR batch query +
+  ``np.bincount`` over ``(stay, unit)`` pairs), plus the ``n_jobs=2``
+  chunked multiprocessing mode.
+
+Both comparisons also verify the results are identical, then write the
+measurements to ``BENCH_kernel.json`` at the repo root.  Run with
+``--fast`` for a small-workload smoke check (CI); timings in fast mode
+are not meaningful.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_speedup.py [--fast] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.popularity import compute_popularity
+from repro.core.recognition import CSDRecognizer
+from repro.data.trajectory import NO_SEMANTICS
+from repro.eval.experiments import make_workload
+from repro.geo.distance import gaussian_coefficients
+from repro.geo.index import GridIndex
+
+
+def popularity_loop(poi_xy, stay_xy, r3sigma):
+    """Seed implementation: one scalar range query per POI."""
+    pois = np.asarray(poi_xy, dtype=float).reshape(-1, 2)
+    stays = np.asarray(stay_xy, dtype=float).reshape(-1, 2)
+    index = GridIndex(stays, cell_size=r3sigma)
+    pop = np.zeros(len(pois))
+    for i, (x, y) in enumerate(pois):
+        hits = index.query_radius(x, y, r3sigma)
+        if len(hits) == 0:
+            continue
+        d = np.sqrt(((stays[hits] - (x, y)) ** 2).sum(axis=1))
+        pop[i] = float(gaussian_coefficients(d, r3sigma).sum())
+    return pop
+
+
+def recognize_loop(recognizer, stay_points):
+    """Seed implementation: per-stay-point projection + dict voting."""
+    csd = recognizer.csd
+    out = []
+    for sp in stay_points:
+        x, y = csd.projection.to_meters(sp.lon, sp.lat)
+        hits = csd.range_query(x, y, recognizer.r3sigma_m)
+        if len(hits) == 0:
+            out.append(NO_SEMANTICS)
+            continue
+        d = np.sqrt(((csd.poi_xy[hits] - (x, y)) ** 2).sum(axis=1))
+        weights = gaussian_coefficients(d, recognizer.r3sigma_m)
+        votes = {}
+        in_range_tags = {}
+        for poi_idx, w in zip(hits, weights):
+            unit_id = csd.find_semantic_unit(int(poi_idx))
+            if unit_id < 0:
+                continue
+            score = float(csd.popularity[poi_idx]) * float(w)
+            votes[unit_id] = votes.get(unit_id, 0.0) + score
+            in_range_tags.setdefault(unit_id, set()).add(
+                csd.poi_tag(int(poi_idx))
+            )
+        if not votes:
+            out.append(NO_SEMANTICS)
+            continue
+        winner = min(votes, key=lambda uid: (-votes[uid], uid))
+        unit = csd.unit(winner)
+        distribution = unit.semantic_distribution
+        tags = {
+            tag
+            for tag in in_range_tags[winner]
+            if distribution.get(tag, 0.0) >= recognizer.min_tag_share
+        }
+        tags.add(unit.dominant_tag())
+        out.append(frozenset(tags))
+    return out
+
+
+def timed(fn, *args, repeat=3, **kwargs):
+    """Best-of-``repeat`` wall time; returns (last result, seconds)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="small workload smoke run (CI); timings not meaningful",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_kernel.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.fast:
+        workload = make_workload(n_pois=2_000, n_passengers=50, days=2)
+    else:
+        workload = make_workload(n_pois=12_000, n_passengers=250, days=7)
+    config = workload.csd_config
+    stays = [sp for st in workload.trajectories for sp in st.stay_points]
+    stay_lonlat = np.array([[sp.lon, sp.lat] for sp in stays])
+    stay_xy = workload.projection.to_meters_array(stay_lonlat)
+    poi_lonlat = np.array([[p.lon, p.lat] for p in workload.pois])
+    poi_xy = workload.projection.to_meters_array(poi_lonlat)
+    print(
+        f"workload: {len(workload.pois)} POIs, "
+        f"{len(workload.trajectories)} trajectories, {len(stays)} stay points"
+    )
+
+    pop_loop, t_pop_loop = timed(
+        popularity_loop, poi_xy, stay_xy, config.r3sigma_m
+    )
+    pop_batch, t_pop_batch = timed(
+        compute_popularity, poi_xy, stay_xy, config.r3sigma_m
+    )
+    # The seed loop summed each POI's hits with np.sum (pairwise); the
+    # batched path accumulates sequentially via bincount, so the two
+    # may differ in the last ulp on dense POIs.  Bit-identity against
+    # the sequential-order oracle is enforced by the equivalence tests.
+    denom = np.maximum(np.abs(pop_loop), 1e-300)
+    pop_max_rel = float(np.max(np.abs(pop_loop - pop_batch) / denom))
+    pop_ok = bool(np.allclose(pop_loop, pop_batch, rtol=1e-12, atol=0.0))
+    pop_speedup = t_pop_loop / t_pop_batch
+    print(
+        f"popularity:  loop {t_pop_loop:.3f}s  batched {t_pop_batch:.3f}s  "
+        f"speedup x{pop_speedup:.1f}  max_rel_diff={pop_max_rel:.2e}"
+    )
+
+    csd, t_build = timed(workload.build_csd, repeat=1)
+    print(f"csd build: {t_build:.3f}s ({csd.n_units} units)")
+    recognizer = CSDRecognizer(csd, config.r3sigma_m)
+    rec_loop, t_rec_loop = timed(recognize_loop, recognizer, stays)
+    rec_batch, t_rec_batch = timed(recognizer.recognize_points, stays)
+    rec_equal = rec_loop == rec_batch
+    rec_speedup = t_rec_loop / t_rec_batch
+    print(
+        f"recognition: loop {t_rec_loop:.3f}s  batched {t_rec_batch:.3f}s  "
+        f"speedup x{rec_speedup:.1f}  identical={rec_equal}"
+    )
+    rec_mp, t_rec_mp = timed(
+        recognizer.recognize, workload.trajectories, repeat=1, n_jobs=2
+    )
+    mp_flat = [sp.semantics for st in rec_mp for sp in st.stay_points]
+    print(
+        f"recognition: n_jobs=2 {t_rec_mp:.3f}s (whole trajectories, "
+        f"identical={mp_flat == rec_batch})"
+    )
+
+    report = {
+        "mode": "fast" if args.fast else "full",
+        "workload": {
+            "n_pois": len(workload.pois),
+            "n_trajectories": len(workload.trajectories),
+            "n_stay_points": len(stays),
+        },
+        "popularity": {
+            "loop_s": round(t_pop_loop, 4),
+            "batched_s": round(t_pop_batch, 4),
+            "speedup": round(pop_speedup, 2),
+            "max_rel_diff": pop_max_rel,
+            "allclose": pop_ok,
+        },
+        "recognition": {
+            "loop_s": round(t_rec_loop, 4),
+            "batched_s": round(t_rec_batch, 4),
+            "speedup": round(rec_speedup, 2),
+            "n_jobs2_s": round(t_rec_mp, 4),
+            "identical": bool(rec_equal and mp_flat == rec_batch),
+        },
+        "csd_build_s": round(t_build, 4),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not (pop_ok and rec_equal):
+        raise SystemExit("batched results diverged from the loop reference")
+    return report
+
+
+if __name__ == "__main__":
+    main()

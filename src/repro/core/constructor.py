@@ -52,6 +52,10 @@ def popularity_based_clustering(
         raise ValueError("poi arrays must align")
 
     index = GridIndex(pts, cell_size=max(config.eps_p_m, 1.0))
+    # Every neighbourhood Algorithm 1 ever asks for is an eps_p query
+    # anchored at an indexed POI, so prefetch them all in one batched
+    # CSR query instead of re-querying per visited point.
+    nbr_idx, nbr_off = index.query_radius_many(pts, config.eps_p_m)
     remaining = np.ones(n, dtype=bool)
     clusters: List[List[int]] = []
     leftovers: List[int] = []
@@ -66,7 +70,7 @@ def popularity_based_clustering(
         sx, sy = pts[seed]
         queue = deque(
             int(j)
-            for j in index.query_radius(sx, sy, config.eps_p_m)
+            for j in nbr_idx[nbr_off[seed] : nbr_off[seed + 1]]
             if remaining[j]
         )
         queued = set(queue)
@@ -83,7 +87,7 @@ def popularity_based_clustering(
                 continue
             remaining[j] = False
             cluster.append(j)
-            for k in index.query_radius(pts[j, 0], pts[j, 1], config.eps_p_m):
+            for k in nbr_idx[nbr_off[j] : nbr_off[j + 1]]:
                 k = int(k)
                 if remaining[k] and k not in queued:
                     queued.add(k)

@@ -93,6 +93,22 @@ class CitySemanticDiagram:
         """POI indices within ``radius`` metres of ``(x, y)`` (metres)."""
         return self._index.query_radius(x, y, radius)
 
+    def range_query_many(
+        self, xy: np.ndarray, radius: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`range_query` over ``(m, 2)`` centres.
+
+        Returns CSR ``(indices, offsets)`` — see
+        :meth:`repro.geo.index.GridIndex.query_radius_many`.
+        """
+        return self._index.query_radius_many(xy, radius)
+
+    def poi_tags(self) -> List[str]:
+        """All POI tags at this diagram's granularity (cached)."""
+        if not hasattr(self, "_poi_tags"):
+            self._poi_tags = [self.poi_tag(i) for i in range(len(self.pois))]
+        return self._poi_tags
+
     def find_semantic_unit(self, poi_index: int) -> int:
         """Unit id of a POI, or ``UNASSIGNED`` (Algorithm 3 line 8)."""
         return int(self.unit_of[poi_index])

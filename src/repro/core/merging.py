@@ -67,24 +67,29 @@ def _nearby_pairs(
     units: List[List[int]], poi_xy: np.ndarray, radius: float
 ) -> List[Tuple[int, int]]:
     """Unit pairs with at least one POI pair within ``radius`` metres."""
-    owner = {}
+    owner_of_flat: List[int] = []
     flat: List[int] = []
     for u, members in enumerate(units):
         for i in members:
-            owner[i] = u
+            owner_of_flat.append(u)
             flat.append(i)
     if not flat:
         return []
     flat_xy = poi_xy[flat]
+    owners = np.asarray(owner_of_flat, dtype=np.int64)
     index = GridIndex(flat_xy, cell_size=max(radius, 1.0))
-    pairs = set()
-    for a, i in enumerate(flat):
-        ua = owner[i]
-        for b in index.query_radius(flat_xy[a, 0], flat_xy[a, 1], radius):
-            ub = owner[flat[int(b)]]
-            if ua != ub:
-                pairs.add((min(ua, ub), max(ua, ub)))
-    return sorted(pairs)
+    # One batched self-query yields every within-radius POI pair; the
+    # unit pairs are then a vectorised dedup over the owner labels.
+    nbr_idx, nbr_off = index.query_radius_many(flat_xy, radius)
+    ua = np.repeat(owners, np.diff(nbr_off))
+    ub = owners[nbr_idx]
+    cross = ua != ub
+    if not cross.any():
+        return []
+    lo = np.minimum(ua[cross], ub[cross])
+    hi = np.maximum(ua[cross], ub[cross])
+    pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)
+    return [(int(a), int(b)) for a, b in pairs]
 
 
 def merge_units(

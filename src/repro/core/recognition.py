@@ -6,11 +6,19 @@ with the highest aggregate vote wins, and the stay point receives the
 union of tags of the winning unit's in-range POIs.  Voting by unit —
 rather than by single best POI — is what makes recognition robust to
 GPS noise and to semantically complex areas.
+
+Recognition is embarrassingly batchable: :meth:`CSDRecognizer.
+recognize_points` projects the whole stay-point corpus at once, runs a
+single CSR range query over the POI grid, and resolves every vote with
+``np.bincount`` over ``(stay, unit)`` pairs.  The scalar
+:meth:`CSDRecognizer.recognize_point` is a single-point wrapper over
+the same kernel, so both paths are exactly equivalent.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import multiprocessing
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +30,10 @@ from repro.data.trajectory import (
     StayPoint,
 )
 from repro.geo.distance import gaussian_coefficients
+
+#: Below this corpus size the fork/pickle overhead of worker processes
+#: outweighs the recognition work itself; ``n_jobs`` is ignored.
+_MIN_STAYS_PER_JOB = 512
 
 
 class CSDRecognizer:
@@ -56,48 +68,119 @@ class CSDRecognizer:
         range — the stay point stays unrecognised, exactly like a stay
         point in the middle of the river of the paper's example.
         """
-        x, y = self.csd.projection.to_meters(sp.lon, sp.lat)
-        hits = self.csd.range_query(x, y, self.r3sigma_m)
-        if len(hits) == 0:
-            return NO_SEMANTICS
-        d = np.sqrt(((self.csd.poi_xy[hits] - (x, y)) ** 2).sum(axis=1))
-        weights = gaussian_coefficients(d, self.r3sigma_m)
-        votes: Dict[int, float] = {}
-        in_range_tags: Dict[int, set] = {}
-        for poi_idx, w in zip(hits, weights):
-            unit_id = self.csd.find_semantic_unit(int(poi_idx))
-            if unit_id == UNASSIGNED:
-                continue
-            score = float(self.csd.popularity[poi_idx]) * float(w)
-            votes[unit_id] = votes.get(unit_id, 0.0) + score
-            in_range_tags.setdefault(unit_id, set()).add(
-                self.csd.poi_tag(int(poi_idx))
-            )
-        if not votes:
-            return NO_SEMANTICS
-        # Highest vote wins; ties break on the smaller unit id so the
-        # result is deterministic.
-        winner = min(votes, key=lambda uid: (-votes[uid], uid))
-        unit = self.csd.unit(winner)
-        distribution = unit.semantic_distribution
-        tags = {
-            tag
-            for tag in in_range_tags[winner]
-            if distribution.get(tag, 0.0) >= self.min_tag_share
-        }
-        tags.add(unit.dominant_tag())
-        return frozenset(tags)
+        return self.recognize_points([sp])[0]
+
+    def recognize_points(
+        self, stay_points: Sequence[StayPoint]
+    ) -> List[SemanticProperty]:
+        """Batched Algorithm 3 over a flat stay-point sequence.
+
+        Projects every stay point with ``to_meters_array``, runs one
+        batched range query, accumulates popularity-weighted votes per
+        ``(stay, unit)`` pair with ``np.bincount`` (sequential in hit
+        order, so totals match a per-point left-to-right sum bit for
+        bit), and breaks vote ties on the smaller unit id.
+        """
+        n = len(stay_points)
+        out: List[SemanticProperty] = [NO_SEMANTICS] * n
+        if n == 0:
+            return out
+        lonlat = np.array(
+            [[sp.lon, sp.lat] for sp in stay_points], dtype=float
+        ).reshape(-1, 2)
+        xy = self.csd.projection.to_meters_array(lonlat)
+        hit_idx, offsets = self.csd.range_query_many(xy, self.r3sigma_m)
+        if len(hit_idx) == 0:
+            return out
+        stay_of = np.repeat(np.arange(n), np.diff(offsets))
+        unit_ids = self.csd.unit_of[hit_idx]
+        keep = unit_ids != UNASSIGNED
+        if not keep.any():
+            return out
+        hit_idx = hit_idx[keep]
+        stay_of = stay_of[keep]
+        unit_ids = unit_ids[keep]
+        d = np.sqrt(
+            ((self.csd.poi_xy[hit_idx] - xy[stay_of]) ** 2).sum(axis=1)
+        )
+        scores = self.csd.popularity[hit_idx] * gaussian_coefficients(
+            d, self.r3sigma_m
+        )
+        # Vote totals per (stay, unit) pair without per-point dicts.
+        n_units = max(len(self.csd.units), 1)
+        pair = stay_of.astype(np.int64) * n_units + unit_ids
+        upair, inverse = np.unique(pair, return_inverse=True)
+        votes = np.bincount(inverse, weights=scores)
+        vstay = upair // n_units
+        vunit = upair % n_units
+        # Winner per stay: highest vote, ties to the smaller unit id.
+        order = np.lexsort((vunit, -votes, vstay))
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = vstay[order][1:] != vstay[order][:-1]
+        win_rows = order[first]
+        winner_of = np.full(n, UNASSIGNED, dtype=np.int64)
+        winner_of[vstay[win_rows]] = vunit[win_rows]
+        # Tag union of the winning unit's in-range POIs, per stay.
+        tags = self.csd.poi_tags()
+        in_range: List[set] = [set() for _ in range(n)]
+        winning = winner_of[stay_of] == unit_ids
+        for stay, poi_idx in zip(stay_of[winning], hit_idx[winning]):
+            in_range[stay].add(tags[poi_idx])
+        for stay in vstay[win_rows]:
+            unit = self.csd.unit(int(winner_of[stay]))
+            distribution = unit.semantic_distribution
+            prop = {
+                tag
+                for tag in in_range[stay]
+                if distribution.get(tag, 0.0) >= self.min_tag_share
+            }
+            prop.add(unit.dominant_tag())
+            out[stay] = frozenset(prop)
+        return out
 
     def recognize(
-        self, trajectories: Sequence[SemanticTrajectory]
+        self,
+        trajectories: Sequence[SemanticTrajectory],
+        n_jobs: int = 1,
     ) -> List[SemanticTrajectory]:
         """Algorithm 3 over a whole dataset: new trajectories with
-        semantics filled in (inputs are not mutated)."""
+        semantics filled in (inputs are not mutated).
+
+        ``n_jobs > 1`` splits the flattened stay-point corpus into that
+        many contiguous chunks and recognises them in worker processes;
+        results are reassembled in order, so the output is identical to
+        the serial path.  Small corpora always run serially.
+        """
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1")
+        flat = [sp for st in trajectories for sp in st.stay_points]
+        if n_jobs == 1 or len(flat) < n_jobs * _MIN_STAYS_PER_JOB:
+            props = self.recognize_points(flat)
+        else:
+            bounds = np.linspace(0, len(flat), n_jobs + 1).astype(int)
+            chunks = [
+                flat[bounds[i] : bounds[i + 1]] for i in range(n_jobs)
+            ]
+            with multiprocessing.Pool(n_jobs) as pool:
+                parts = pool.map(
+                    _recognize_chunk, [(self, chunk) for chunk in chunks]
+                )
+            props = [p for part in parts for p in part]
         out: List[SemanticTrajectory] = []
+        cursor = 0
         for st in trajectories:
             stays = [
-                sp.with_semantics(self.recognize_point(sp))
-                for sp in st.stay_points
+                sp.with_semantics(props[cursor + i])
+                for i, sp in enumerate(st.stay_points)
             ]
+            cursor += len(st.stay_points)
             out.append(SemanticTrajectory(st.traj_id, stays))
         return out
+
+
+def _recognize_chunk(
+    args: Tuple["CSDRecognizer", List[StayPoint]]
+) -> List[SemanticProperty]:
+    """Top-level worker so ``multiprocessing`` can pickle the call."""
+    recognizer, chunk = args
+    return recognizer.recognize_points(chunk)

@@ -52,11 +52,19 @@ class TestBasics:
         idx = GridIndex(xy, cell_size=10)
         assert idx.count_within(0, 0, 10) == 2
 
-    def test_query_many(self):
+    def test_query_many_csr(self):
         xy = np.array([[0.0, 0.0], [100.0, 100.0]])
         idx = GridIndex(xy, cell_size=10)
-        results = idx.query_radius_many(np.array([[0, 0], [100, 100]]), 5.0)
-        assert [list(r) for r in results] == [[0], [1]]
+        indices, offsets = idx.query_radius_many(
+            np.array([[0, 0], [100, 100], [50, 50]]), 5.0
+        )
+        assert list(offsets) == [0, 1, 2, 2]
+        assert list(indices) == [0, 1]
+
+    def test_query_many_rejects_negative_radius(self):
+        idx = GridIndex(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            idx.query_radius_many(np.zeros((1, 2)), -1.0)
 
 
 class TestAgainstBruteForce:
@@ -80,3 +88,90 @@ class TestAgainstBruteForce:
         xy = np.array([[-250.0, -250.0], [-260.0, -250.0], [250.0, 250.0]])
         idx = GridIndex(xy, cell_size=100)
         assert list(idx.query_radius(-255, -250, 10)) == [0, 1]
+
+
+def unpack_csr(indices, offsets):
+    return [indices[offsets[i] : offsets[i + 1]] for i in range(len(offsets) - 1)]
+
+
+class TestBatchedCSR:
+    """query_radius_many must equal per-point query_radius, row by row."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(0, 80),
+        st.integers(1, 20),
+        st.floats(0.0, 400.0),
+        st.floats(5.0, 200.0),
+        st.integers(0, 10_000),
+    )
+    def test_csr_matches_scalar(self, n, m, radius, cell, seed):
+        rng = np.random.default_rng(seed)
+        xy = rng.uniform(-500, 500, (n, 2))
+        centers = rng.uniform(-600, 600, (m, 2))
+        idx = GridIndex(xy, cell_size=cell)
+        indices, offsets = idx.query_radius_many(centers, radius)
+        assert offsets[0] == 0
+        assert offsets[-1] == len(indices)
+        rows = unpack_csr(indices, offsets)
+        assert len(rows) == m
+        for (cx, cy), row in zip(centers, rows):
+            assert list(row) == list(idx.query_radius(cx, cy, radius))
+            assert list(row) == list(brute_force(xy, cx, cy, radius))
+
+    def test_empty_index(self):
+        idx = GridIndex(np.empty((0, 2)))
+        indices, offsets = idx.query_radius_many(np.zeros((3, 2)), 50.0)
+        assert len(indices) == 0
+        assert list(offsets) == [0, 0, 0, 0]
+
+    def test_no_centers(self):
+        idx = GridIndex(np.zeros((4, 2)))
+        indices, offsets = idx.query_radius_many(np.empty((0, 2)), 50.0)
+        assert len(indices) == 0
+        assert list(offsets) == [0]
+
+    def test_radius_zero_hits_exact_points_only(self):
+        xy = np.array([[0.0, 0.0], [0.0, 0.0], [1e-9, 0.0], [5.0, 5.0]])
+        idx = GridIndex(xy, cell_size=10.0)
+        indices, offsets = idx.query_radius_many(
+            np.array([[0.0, 0.0], [5.0, 5.0], [2.0, 2.0]]), 0.0
+        )
+        rows = unpack_csr(indices, offsets)
+        assert [list(r) for r in rows] == [[0, 1], [3], []]
+
+    def test_huge_radius_all_buckets_fallback(self):
+        """A window larger than the occupied-cell count takes the
+        scan-everything path; results must still match per point."""
+        rng = np.random.default_rng(3)
+        xy = rng.uniform(-200, 200, (150, 2))
+        idx = GridIndex(xy, cell_size=10.0)
+        centers = rng.uniform(-250, 250, (7, 2))
+        radius = 10_000.0  # window >> occupied cells
+        indices, offsets = idx.query_radius_many(centers, radius)
+        rows = unpack_csr(indices, offsets)
+        for (cx, cy), row in zip(centers, rows):
+            assert list(row) == list(idx.query_radius(cx, cy, radius))
+            assert len(row) == 150
+
+    def test_far_away_centers_empty_rows(self):
+        xy = np.zeros((5, 2))
+        idx = GridIndex(xy, cell_size=10.0)
+        indices, offsets = idx.query_radius_many(
+            np.array([[1e6, 1e6], [-1e6, 0.0]]), 50.0
+        )
+        assert len(indices) == 0
+        assert list(offsets) == [0, 0, 0]
+
+    def test_chunked_path_matches_unchunked(self, monkeypatch):
+        import repro.geo.index as index_mod
+
+        rng = np.random.default_rng(11)
+        xy = rng.uniform(0, 300, (300, 2))
+        centers = rng.uniform(0, 300, (97, 2))
+        idx = GridIndex(xy, cell_size=30.0)
+        want = idx.query_radius_many(centers, 45.0)
+        monkeypatch.setattr(index_mod, "_CHUNK_BUDGET", 64)
+        got = idx.query_radius_many(centers, 45.0)
+        assert np.array_equal(got[0], want[0])
+        assert np.array_equal(got[1], want[1])
