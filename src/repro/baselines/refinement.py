@@ -26,10 +26,11 @@ from repro.data.trajectory import SemanticTrajectory, StayPoint, as_tag_sequence
 from repro.geo.projection import LocalProjection
 from repro.geo.stats import spatial_density
 from repro.mining.prefixspan import prefixspan
+from repro.types import IndexArray, MetersArray
 
 #: A labeler maps the k-th matched points (metres) to cluster labels;
 #: ``-1`` marks noise (clusterers without a noise concept never emit it).
-Labeler = Callable[[np.ndarray, MiningConfig], np.ndarray]
+Labeler = Callable[[MetersArray, MiningConfig], IndexArray]
 
 
 def refine_with_labeler(
@@ -66,7 +67,7 @@ def refine_with_labeler(
 
         m = len(pattern.items)
         stays: List[List[StayPoint]] = []
-        xy: List[np.ndarray] = []
+        xy: List[MetersArray] = []
         for k in range(m):
             column = [
                 database[seq_idx][positions[k]]

@@ -35,6 +35,7 @@ from repro.data.trajectory import (
 )
 from repro.geo.index import GridIndex
 from repro.geo.projection import LocalProjection
+from repro.types import Float64Array, IndexArray, MetersArray
 
 ANNOTATION_MODES = ("overlap", "region-majority", "region-union")
 
@@ -102,7 +103,7 @@ class ROIRecognizer:
         labels = (
             dbscan(stay_xy, self.eps_m, self.min_pts)
             if len(stays)
-            else np.empty(0, dtype=int)
+            else np.empty(0, dtype=np.int64)
         )
         region_tags: Dict[int, SemanticProperty] = {}
         if self.annotation != "overlap":
@@ -130,7 +131,7 @@ class ROIRecognizer:
 
     # -- internals -------------------------------------------------------
 
-    def _overlap_tags(self, xy: np.ndarray) -> SemanticProperty:
+    def _overlap_tags(self, xy: Float64Array) -> SemanticProperty:
         """Tags of POIs overlapping the stay point's own neighbourhood."""
         hits = self._poi_index.query_radius(
             float(xy[0]), float(xy[1]), self.overlap_radius_m
@@ -140,7 +141,7 @@ class ROIRecognizer:
         return frozenset(self.pois[int(i)].major for i in hits)
 
     def _annotate_regions(
-        self, stay_xy: np.ndarray, labels: np.ndarray
+        self, stay_xy: MetersArray, labels: IndexArray
     ) -> Dict[int, SemanticProperty]:
         """Region id -> one semantic attribute from nearby POI votes."""
         counts_by_region: Dict[int, Dict[str, int]] = {}
@@ -164,7 +165,7 @@ class ROIRecognizer:
                 out[region] = frozenset(counts)
         return out
 
-    def _nearest_poi_tags(self, xy: np.ndarray) -> SemanticProperty:
+    def _nearest_poi_tags(self, xy: Float64Array) -> SemanticProperty:
         hits = self._poi_index.query_radius(
             float(xy[0]), float(xy[1]), self.fallback_radius_m
         )

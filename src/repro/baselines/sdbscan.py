@@ -11,20 +11,19 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.baselines.refinement import refine_with_labeler
 from repro.cluster.dbscan import dbscan
 from repro.core.config import MiningConfig
 from repro.core.extraction import FineGrainedPattern
 from repro.data.trajectory import SemanticTrajectory
 from repro.geo.projection import LocalProjection
+from repro.types import IndexArray, MetersArray
 
 #: Fixed DBSCAN radius of the refinement step, metres.
 SDBSCAN_EPS_M = 100.0
 
 
-def _dbscan_labeler(xy: np.ndarray, config: MiningConfig) -> np.ndarray:
+def _dbscan_labeler(xy: MetersArray, config: MiningConfig) -> IndexArray:
     return dbscan(xy, eps=SDBSCAN_EPS_M, min_pts=config.support)
 
 

@@ -22,6 +22,7 @@ from repro.core.config import MiningConfig
 from repro.core.extraction import FineGrainedPattern
 from repro.data.trajectory import SemanticTrajectory
 from repro.geo.projection import LocalProjection
+from repro.types import IndexArray, MetersArray
 
 #: Initial bandwidth selection quantile over pairwise distances.
 BANDWIDTH_QUANTILE = 0.3
@@ -30,11 +31,11 @@ MIN_BANDWIDTH_M = 40.0
 
 
 def _split_recursive(
-    xy: np.ndarray,
-    idxs: np.ndarray,
+    xy: MetersArray,
+    idxs: IndexArray,
     bandwidth: float,
     sigma: int,
-    labels: np.ndarray,
+    labels: IndexArray,
     next_label: List[int],
 ) -> None:
     """Split ``idxs`` at ``bandwidth``; recurse into viable subclusters.
@@ -65,16 +66,16 @@ def _split_recursive(
             labels[members] = label
 
 
-def _splitter_labeler(xy: np.ndarray, config: MiningConfig) -> np.ndarray:
+def _splitter_labeler(xy: MetersArray, config: MiningConfig) -> IndexArray:
     bandwidth = max(
         estimate_bandwidth(xy, quantile=BANDWIDTH_QUANTILE), MIN_BANDWIDTH_M
     )
-    labels = np.full(len(xy), -1, dtype=int)
+    labels = np.full(len(xy), -1, dtype=np.int64)
     if len(xy) == 0:
         return labels
     _split_recursive(
         np.asarray(xy, dtype=float),
-        np.arange(len(xy)),
+        np.arange(len(xy), dtype=np.int64),
         bandwidth,
         config.support,
         labels,

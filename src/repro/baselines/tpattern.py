@@ -26,6 +26,7 @@ from repro.core.extraction import FineGrainedPattern, representative_stay_point
 from repro.data.trajectory import SemanticTrajectory, StayPoint
 from repro.geo.projection import LocalProjection
 from repro.mining.prefixspan import prefixspan
+from repro.types import Float64Array, MetersArray
 
 
 @dataclass
@@ -39,7 +40,7 @@ class RegionOfInterest:
 
 
 def detect_rois(
-    stay_xy: np.ndarray,
+    stay_xy: MetersArray,
     cell_m: float = 200.0,
     min_visits: int = 20,
 ) -> Tuple[List[RegionOfInterest], Dict[Tuple[int, int], int]]:
@@ -52,7 +53,7 @@ def detect_rois(
     if min_visits < 1:
         raise ValueError("min_visits must be at least 1")
     counts: Dict[Tuple[int, int], int] = defaultdict(int)
-    sums: Dict[Tuple[int, int], np.ndarray] = defaultdict(
+    sums: Dict[Tuple[int, int], Float64Array] = defaultdict(
         lambda: np.zeros(2)
     )
     for x, y in np.asarray(stay_xy, dtype=float).reshape(-1, 2):

@@ -22,7 +22,7 @@ import argparse
 import csv
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.baselines.registry import APPROACHES, approach_by_name, run_approach
 from repro.core.config import CSDConfig, MiningConfig
@@ -39,7 +39,11 @@ from repro.data.io import read_pois, read_trips, write_pois, write_trips
 from repro.data.persistence import load_csd, save_csd
 from repro.viz.svg import render_csd_svg, render_patterns_svg, save_svg
 from repro.data.poi import POIGenerator
-from repro.data.taxi import ShanghaiTaxiSimulator, trips_to_mining_trajectories
+from repro.data.taxi import (
+    ShanghaiTaxiSimulator,
+    TaxiTrip,
+    trips_to_mining_trajectories,
+)
 from repro.data.trajectory import SemanticTrajectory
 from repro.eval.metrics import summarize_patterns
 from repro.eval.reporting import format_table
@@ -65,7 +69,9 @@ def _mining_config(args: argparse.Namespace) -> MiningConfig:
     )
 
 
-def _trips_to_trajectories(trips) -> List[SemanticTrajectory]:
+def _trips_to_trajectories(
+    trips: Sequence[TaxiTrip],
+) -> List[SemanticTrajectory]:
     return trips_to_mining_trajectories(trips)
 
 

@@ -14,17 +14,18 @@ from typing import Optional
 import numpy as np
 
 from repro.geo.index import GridIndex
+from repro.types import IndexArray, MetersArray
 
 NOISE = -1
 _UNVISITED = -2
 
 
 def dbscan(
-    xy: np.ndarray,
+    xy: MetersArray,
     eps: float,
     min_pts: int,
     index: Optional[GridIndex] = None,
-) -> np.ndarray:
+) -> IndexArray:
     """Cluster points; returns labels with ``-1`` for noise.
 
     Parameters
@@ -46,7 +47,7 @@ def dbscan(
         raise ValueError("eps must be positive")
     if min_pts < 1:
         raise ValueError("min_pts must be at least 1")
-    labels = np.full(n, _UNVISITED, dtype=int)
+    labels = np.full(n, _UNVISITED, dtype=np.int64)
     if n == 0:
         return labels
     if index is None:

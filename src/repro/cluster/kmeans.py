@@ -10,14 +10,16 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.types import Float64Array, IndexArray, MetersArray
+
 
 def kmeans(
-    xy: np.ndarray,
+    xy: MetersArray,
     k: int,
     max_iter: int = 100,
     seed: int = 0,
     tol: float = 1e-4,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[IndexArray, Float64Array]:
     """Lloyd's algorithm with k-means++ init; returns ``(labels, centres)``.
 
     Deterministic given ``seed``.  ``k`` is clamped to the number of
@@ -28,15 +30,15 @@ def kmeans(
     if k < 1:
         raise ValueError("k must be at least 1")
     if n == 0:
-        return np.empty(0, dtype=int), np.empty((0, 2))
+        return np.empty(0, dtype=np.int64), np.empty((0, 2))
     k = min(k, len(np.unique(pts, axis=0)))
     rng = np.random.default_rng(seed)
 
     centres = _kmeanspp_init(pts, k, rng)
-    labels = np.zeros(n, dtype=int)
+    labels = np.zeros(n, dtype=np.int64)
     for _ in range(max_iter):
         d2 = ((pts[:, None, :] - centres[None, :, :]) ** 2).sum(axis=2)
-        labels = d2.argmin(axis=1)
+        labels = d2.argmin(axis=1).astype(np.int64, copy=False)
         new_centres = centres.copy()
         for c in range(k):
             members = pts[labels == c]
@@ -50,8 +52,8 @@ def kmeans(
 
 
 def _kmeanspp_init(
-    pts: np.ndarray, k: int, rng: np.random.Generator
-) -> np.ndarray:
+    pts: MetersArray, k: int, rng: np.random.Generator
+) -> Float64Array:
     n = len(pts)
     centres = np.empty((k, 2))
     centres[0] = pts[int(rng.integers(n))]

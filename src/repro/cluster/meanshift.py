@@ -13,15 +13,16 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.geo.index import GridIndex
+from repro.types import Float64Array, IndexArray, MetersArray, MetersXY
 
 
 def mean_shift(
-    xy: np.ndarray,
+    xy: MetersArray,
     bandwidth: float,
     max_iter: int = 100,
     tol: float = 1e-3,
     index: Optional[GridIndex] = None,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[IndexArray, Float64Array]:
     """Cluster by mode seeking; returns ``(labels, modes)``.
 
     ``labels[i]`` indexes into ``modes`` (an ``(k, 2)`` array).  Every
@@ -32,7 +33,7 @@ def mean_shift(
     if bandwidth <= 0:
         raise ValueError("bandwidth must be positive")
     if n == 0:
-        return np.empty(0, dtype=int), np.empty((0, 2))
+        return np.empty(0, dtype=np.int64), np.empty((0, 2))
     if index is None:
         index = GridIndex(pts, cell_size=bandwidth)
 
@@ -51,8 +52,8 @@ def mean_shift(
         shifted[i] = (x, y)
 
     # Merge modes closer than the bandwidth (greedy, deterministic order).
-    modes: list = []
-    labels = np.empty(n, dtype=int)
+    modes: list[MetersXY] = []
+    labels = np.empty(n, dtype=np.int64)
     for i in range(n):
         for m, (mx, my) in enumerate(modes):
             if (shifted[i, 0] - mx) ** 2 + (shifted[i, 1] - my) ** 2 <= bandwidth ** 2:
@@ -64,7 +65,7 @@ def mean_shift(
     return labels, np.asarray(modes, dtype=float)
 
 
-def estimate_bandwidth(xy: np.ndarray, quantile: float = 0.3) -> float:
+def estimate_bandwidth(xy: MetersArray, quantile: float = 0.3) -> float:
     """Pairwise-distance quantile heuristic for the Mean Shift bandwidth.
 
     Mirrors the common sklearn heuristic; clamped below by 1 m so

@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from repro.geo.index import GridIndex
+from repro.types import BoolArray, Float64Array, IndexArray, MetersArray
 
 _INF = np.inf
 
@@ -32,16 +33,16 @@ _INF = np.inf
 class OpticsResult:
     """Reachability plot: visit order plus per-point distances."""
 
-    ordering: np.ndarray       # point indices in visit order
-    reachability: np.ndarray   # reachability distance per point (inf = never reached)
-    core_distance: np.ndarray  # core distance per point (inf = never core)
+    ordering: IndexArray       # point indices in visit order
+    reachability: Float64Array # reachability distance per point (inf = never reached)
+    core_distance: Float64Array  # core distance per point (inf = never core)
 
     def __len__(self) -> int:
         return len(self.ordering)
 
 
 def optics(
-    xy: np.ndarray,
+    xy: MetersArray,
     min_pts: int,
     max_eps: float = _INF,
     index: Optional[GridIndex] = None,
@@ -58,7 +59,7 @@ def optics(
         raise ValueError("min_pts must be at least 1")
     reach = np.full(n, _INF)
     core = np.full(n, _INF)
-    ordering = np.empty(n, dtype=int)
+    ordering = np.empty(n, dtype=np.int64)
     if n == 0:
         return OpticsResult(ordering, reach, core)
 
@@ -81,7 +82,7 @@ def optics(
         processed[start] = True
         ordering[pos] = start
         pos += 1
-        seeds: list = []
+        seeds: list[tuple[float, int]] = []
         _update_core(pts, index, start, min_pts, search_eps, core)
         if np.isfinite(core[start]):
             _update_seeds(pts, index, start, search_eps, core, reach,
@@ -101,12 +102,12 @@ def optics(
 
 
 def _update_core(
-    pts: np.ndarray,
+    pts: MetersArray,
     index: GridIndex,
     i: int,
     min_pts: int,
     eps: float,
-    core: np.ndarray,
+    core: Float64Array,
 ) -> None:
     neighbours = index.query_radius(pts[i, 0], pts[i, 1], eps)
     if len(neighbours) < min_pts:
@@ -117,13 +118,13 @@ def _update_core(
 
 
 def _update_seeds(
-    pts: np.ndarray,
+    pts: MetersArray,
     index: GridIndex,
     i: int,
     eps: float,
-    core: np.ndarray,
-    reach: np.ndarray,
-    processed: np.ndarray,
+    core: Float64Array,
+    reach: Float64Array,
+    processed: BoolArray,
     seeds: list,
 ) -> None:
     neighbours = index.query_radius(pts[i, 0], pts[i, 1], eps)
@@ -139,7 +140,7 @@ def _update_seeds(
 
 def extract_dbscan_clustering(
     result: OpticsResult, eps_prime: float, min_pts: int
-) -> np.ndarray:
+) -> IndexArray:
     """DBSCAN-equivalent labels from an OPTICS ordering at ``eps_prime``.
 
     Walks the ordering: a reachability jump above ``eps_prime`` either
@@ -148,7 +149,7 @@ def extract_dbscan_clustering(
     """
     del min_pts  # core distances already encode it; kept for API clarity
     n = len(result)
-    labels = np.full(n, -1, dtype=int)
+    labels = np.full(n, -1, dtype=np.int64)
     cluster_id = -1
     for idx in result.ordering:
         if result.reachability[idx] > eps_prime:
@@ -178,7 +179,7 @@ def auto_threshold(result: OpticsResult, factor: float = 3.0) -> float:
 
 def extract_valley_clusters(
     result: OpticsResult, min_pts: int, split_ratio: float = 3.0
-) -> np.ndarray:
+) -> IndexArray:
     """Per-cluster adaptive extraction from the reachability plot.
 
     The paper's Algorithm 4 description says OPTICS "chooses an optimal
@@ -195,7 +196,7 @@ def extract_valley_clusters(
     if split_ratio <= 1.0:
         raise ValueError("split_ratio must exceed 1")
     n = len(result)
-    labels = np.full(n, -1, dtype=int)
+    labels = np.full(n, -1, dtype=np.int64)
     if n == 0:
         return labels
     order = result.ordering
@@ -229,11 +230,11 @@ def extract_valley_clusters(
 
 
 def optics_auto_clusters(
-    xy: np.ndarray,
+    xy: MetersArray,
     min_pts: int,
     max_eps: float = 1_000.0,
     threshold_factor: float = 3.0,
-) -> np.ndarray:
+) -> IndexArray:
     """One-call OPTICS clustering with per-cluster adaptive extraction.
 
     This is the exact routine Algorithm 4 line 6 invokes;

@@ -27,12 +27,13 @@ from repro.data.poi import POI
 from repro.data.trajectory import StayPoint
 from repro.geo.index import GridIndex
 from repro.geo.projection import LocalProjection
+from repro.types import Float64Array, MetersArray
 
 
 def popularity_based_clustering(
-    poi_xy: np.ndarray,
+    poi_xy: MetersArray,
     poi_tags: Sequence[str],
-    popularity: np.ndarray,
+    popularity: Float64Array,
     config: CSDConfig,
 ) -> Tuple[List[List[int]], List[int]]:
     """Algorithm 1: coarse clusters of similar-popularity POIs.
@@ -151,7 +152,7 @@ def build_csd(
         config.merge_radius_m,
     )
 
-    unit_of = np.full(len(pois), UNASSIGNED, dtype=int)
+    unit_of = np.full(len(pois), UNASSIGNED, dtype=np.int64)
     units: List[SemanticUnit] = []
     for unit_id, members in enumerate(final):
         for i in members:

@@ -19,6 +19,7 @@ from repro.data.trajectory import SemanticProperty
 from repro.geo.index import GridIndex
 from repro.geo.projection import LocalProjection
 from repro.geo.stats import spatial_variance
+from repro.types import CSRQuery, Float64Array, IndexArray, MetersArray
 
 UNASSIGNED = -1
 
@@ -62,10 +63,10 @@ class CitySemanticDiagram:
         self,
         pois: Sequence[POI],
         projection: LocalProjection,
-        poi_xy: np.ndarray,
-        popularity: np.ndarray,
+        poi_xy: MetersArray,
+        popularity: Float64Array,
         units: List[SemanticUnit],
-        unit_of: np.ndarray,
+        unit_of: IndexArray,
         tag_level: str = "major",
     ) -> None:
         n = len(pois)
@@ -78,9 +79,10 @@ class CitySemanticDiagram:
         self.poi_xy = np.asarray(poi_xy, dtype=float).reshape(-1, 2)
         self.popularity = np.asarray(popularity, dtype=float)
         self.units = units
-        self.unit_of = np.asarray(unit_of, dtype=int)
+        self.unit_of = np.asarray(unit_of, dtype=np.int64)
         self.tag_level = tag_level
         self._index = GridIndex(self.poi_xy, cell_size=100.0)
+        self._poi_tags: Optional[List[str]] = None
 
     def poi_tag(self, poi_index: int) -> str:
         """The semantic tag of a POI at this diagram's granularity."""
@@ -89,13 +91,11 @@ class CitySemanticDiagram:
 
     # -- queries -------------------------------------------------------
 
-    def range_query(self, x: float, y: float, radius: float) -> np.ndarray:
+    def range_query(self, x: float, y: float, radius: float) -> IndexArray:
         """POI indices within ``radius`` metres of ``(x, y)`` (metres)."""
         return self._index.query_radius(x, y, radius)
 
-    def range_query_many(
-        self, xy: np.ndarray, radius: float
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    def range_query_many(self, xy: MetersArray, radius: float) -> CSRQuery:
         """Batched :meth:`range_query` over ``(m, 2)`` centres.
 
         Returns CSR ``(indices, offsets)`` — see
@@ -105,7 +105,7 @@ class CitySemanticDiagram:
 
     def poi_tags(self) -> List[str]:
         """All POI tags at this diagram's granularity (cached)."""
-        if not hasattr(self, "_poi_tags"):
+        if self._poi_tags is None:
             self._poi_tags = [self.poi_tag(i) for i in range(len(self.pois))]
         return self._poi_tags
 
@@ -132,10 +132,10 @@ class CitySemanticDiagram:
 
     # -- summaries --------------------------------------------------------
 
-    def unit_sizes(self) -> np.ndarray:
-        return np.array([len(u) for u in self.units], dtype=int)
+    def unit_sizes(self) -> IndexArray:
+        return np.array([len(u) for u in self.units], dtype=np.int64)
 
-    def unit_purities(self) -> np.ndarray:
+    def unit_purities(self) -> Float64Array:
         """Max tag share per unit; 1.0 means single-semantic."""
         out = np.empty(len(self.units))
         for i, u in enumerate(self.units):
@@ -145,7 +145,7 @@ class CitySemanticDiagram:
                 out[i] = max(u.semantic_distribution.values())
         return out
 
-    def unit_variances(self) -> np.ndarray:
+    def unit_variances(self) -> Float64Array:
         """Spatial variance (Eq. 1) per unit, square metres."""
         out = np.empty(len(self.units))
         for i, u in enumerate(self.units):
@@ -171,7 +171,7 @@ class CitySemanticDiagram:
 
 def project_pois(
     pois: Sequence[POI], projection: Optional[LocalProjection] = None
-) -> Tuple[LocalProjection, np.ndarray]:
+) -> Tuple[LocalProjection, MetersArray]:
     """Anchor (or reuse) a projection and project all POIs to metres."""
     lonlat = poi_lonlat_array(pois)
     if projection is None:

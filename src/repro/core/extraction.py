@@ -31,6 +31,7 @@ from repro.data.trajectory import (
 from repro.geo.projection import LocalProjection
 from repro.geo.stats import spatial_density
 from repro.mining.prefixspan import FrequentSequence, prefixspan
+from repro.types import MetersArray
 
 
 @dataclass
@@ -147,7 +148,7 @@ def _refine_coarse_pattern(
 
     # Matched stay points and their metre coordinates, per position k.
     stays: List[List[StayPoint]] = []
-    xy: List[np.ndarray] = []
+    xy: List[MetersArray] = []
     times = np.empty((n_occ, m))
     for k in range(m):
         column = [
@@ -217,7 +218,7 @@ def _refine_coarse_pattern(
 
 
 def representative_stay_point(
-    group: List[StayPoint], group_xy: np.ndarray
+    group: List[StayPoint], group_xy: MetersArray
 ) -> StayPoint:
     """Line 19: medoid location, average timestamp, medoid semantics."""
     centre = group_xy.mean(axis=0)

@@ -10,15 +10,17 @@ compatible unit as singleton candidates.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.geo.index import GridIndex
+from repro.types import Float64Array, MetersArray
 
 
 def unit_distribution(
-    members: Sequence[int], tags: Sequence[str], popularity: np.ndarray
+    members: Sequence[int], tags: Sequence[str], popularity: Float64Array
 ) -> Dict[str, float]:
     """Popularity-weighted tag distribution ``Pr_u(s)`` (Eq. 6).
 
@@ -26,25 +28,33 @@ def unit_distribution(
     unit in a never-visited area keeps a defined distribution.
     """
     dist: Dict[str, float] = {}
+    # reprolint: allow-loop -- per-unit tag accumulation over string
+    # tags; units are tens of POIs, far off the batched hot path.
     for i in members:
         w = float(popularity[i]) + 1e-12
         tag = tags[i]
         dist[tag] = dist.get(tag, 0.0) + w
-    total = sum(dist.values())
+    total = math.fsum(dist.values())
     return {t: v / total for t, v in dist.items()}
 
 
 def cosine_similarity(p: Dict[str, float], q: Dict[str, float]) -> float:
-    """Cosine of two tag distributions (Equations 7-8)."""
+    """Cosine of two tag distributions (Equations 7-8).
+
+    All three reductions use ``math.fsum``: it is correctly rounded and
+    therefore order-independent, so the similarity is bit-identical no
+    matter how ``set(p) | set(q)`` happens to iterate (a plain ``sum``
+    here changed with ``PYTHONHASHSEED``, which RPL003 exists to catch).
+    """
     if not p or not q:
         return 0.0
-    prod = sum(p.get(s, 0.0) * q.get(s, 0.0) for s in set(p) | set(q))
-    pp = sum(v * v for v in p.values())
-    qq = sum(v * v for v in q.values())
-    denominator = np.sqrt(pp * qq)
+    prod = math.fsum(p.get(s, 0.0) * q.get(s, 0.0) for s in set(p) | set(q))
+    pp = math.fsum(v * v for v in p.values())
+    qq = math.fsum(v * v for v in q.values())
+    denominator = math.sqrt(pp * qq)
     if denominator == 0.0:
         return 0.0
-    return float(prod / denominator)
+    return prod / denominator
 
 
 class _UnionFind:
@@ -64,13 +74,15 @@ class _UnionFind:
 
 
 def _nearby_pairs(
-    units: List[List[int]], poi_xy: np.ndarray, radius: float
+    units: List[List[int]], poi_xy: MetersArray, radius: float
 ) -> List[Tuple[int, int]]:
     """Unit pairs with at least one POI pair within ``radius`` metres."""
     owner_of_flat: List[int] = []
     flat: List[int] = []
+    # reprolint: allow-loop -- flattening ragged Python membership lists
+    # into arrays; the O(n^2)-ish work below is the batched CSR query.
     for u, members in enumerate(units):
-        for i in members:
+        for i in members:  # reprolint: allow-loop
             owner_of_flat.append(u)
             flat.append(i)
     if not flat:
@@ -95,9 +107,9 @@ def _nearby_pairs(
 def merge_units(
     units: List[List[int]],
     leftovers: Sequence[int],
-    poi_xy: np.ndarray,
+    poi_xy: MetersArray,
     poi_tags: Sequence[str],
-    popularity: np.ndarray,
+    popularity: Float64Array,
     cos_threshold: float,
     radius: float,
 ) -> List[List[int]]:
@@ -117,6 +129,8 @@ def merge_units(
     dists = [unit_distribution(u, tags, popularity) for u in all_units]
 
     uf = _UnionFind(len(all_units))
+    # reprolint: allow-loop -- union-find over the deduped nearby pairs;
+    # pair count is tiny relative to the POI corpus.
     for a, b in _nearby_pairs(all_units, poi_xy, radius):
         if cosine_similarity(dists[a], dists[b]) >= cos_threshold:
             uf.union(a, b)

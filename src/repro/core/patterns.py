@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.extraction import FineGrainedPattern
 from repro.data.taxi import week_bucket
 from repro.geo.projection import LocalProjection
+from repro.types import LonLat, MetersArray
 
 #: The six Figure 14(a-f) buckets in display order.
 WEEK_BUCKETS = (
@@ -80,8 +81,8 @@ class PatternSummary:
     support: int
     length: int
     bucket: str
-    start_lonlat: Tuple[float, float]
-    end_lonlat: Tuple[float, float]
+    start_lonlat: LonLat
+    end_lonlat: LonLat
     span_m: float
 
 
@@ -90,7 +91,7 @@ def summarize(
     projection: LocalProjection,
 ) -> List[PatternSummary]:
     """One :class:`PatternSummary` per pattern, support-ranked."""
-    out = []
+    out: List[PatternSummary] = []
     for p in rank_patterns(patterns):
         a, b = p.representatives[0], p.representatives[-1]
         ax, ay = projection.to_meters(a.lon, a.lat)
@@ -123,7 +124,7 @@ def patterns_near(
     if radius_m <= 0:
         raise ValueError("radius_m must be positive")
     cx, cy = projection.to_meters(lon, lat)
-    hits = []
+    hits: List[FineGrainedPattern] = []
     for p in patterns:
         for rep in p.representatives:
             x, y = projection.to_meters(rep.lon, rep.lat)
@@ -150,12 +151,12 @@ def deduplicate_subsumed(
     kept: List[FineGrainedPattern] = []
     ranked = rank_patterns(patterns, by="length")
 
-    def rep_xy(p: FineGrainedPattern) -> np.ndarray:
+    def rep_xy(p: FineGrainedPattern) -> MetersArray:
         return projection.to_meters_array(
             [(sp.lon, sp.lat) for sp in p.representatives]
         )
 
-    kept_xy: List[np.ndarray] = []
+    kept_xy: List[MetersArray] = []
     for p in ranked:
         xy = rep_xy(p)
         subsumed = False
@@ -173,9 +174,9 @@ def deduplicate_subsumed(
 
 def _is_spatial_subsequence(
     items: Tuple[str, ...],
-    xy: np.ndarray,
+    xy: MetersArray,
     host_items: Tuple[str, ...],
-    host_xy: np.ndarray,
+    host_xy: MetersArray,
     radius_m: float,
 ) -> bool:
     """Ordered match of (item, position) pairs into the host pattern."""

@@ -14,14 +14,15 @@ import numpy as np
 
 from repro.geo.distance import gaussian_coefficients
 from repro.geo.index import GridIndex
+from repro.types import Float64Array, MetersArray
 
 
 def compute_popularity(
-    poi_xy: np.ndarray,
-    stay_xy: np.ndarray,
+    poi_xy: MetersArray,
+    stay_xy: MetersArray,
     r3sigma: float,
     stay_index: Optional[GridIndex] = None,
-) -> np.ndarray:
+) -> Float64Array:
     """Popularity ``pop(p^I)`` for every POI (Eq. 3).
 
     Parameters

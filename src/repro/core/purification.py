@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.geo.distance import gaussian_coefficients
 from repro.geo.stats import medoid_index, spatial_variance
+from repro.types import MetersArray
 
 #: Additive smoothing for the KL computation: Eq. 5 divides by
 #: probabilities that are zero for tags absent near one POI.
@@ -26,7 +27,7 @@ _KL_EPS = 1e-9
 
 
 def semantic_distributions(
-    xy: np.ndarray, tags: Sequence[str], r3sigma: float
+    xy: MetersArray, tags: Sequence[str], r3sigma: float
 ) -> List[Dict[str, float]]:
     """Per-POI local semantic distribution ``Pr_{p_i}(s)`` (Eq. 4).
 
@@ -64,7 +65,7 @@ def kl_divergence(
 
 
 def is_fine_grained(
-    xy: np.ndarray, tags: Sequence[str], v_min: float
+    xy: MetersArray, tags: Sequence[str], v_min: float
 ) -> bool:
     """Definition 3 qualification: single-semantic OR tight variance."""
     if len(set(tags)) <= 1:
@@ -74,7 +75,7 @@ def is_fine_grained(
 
 def purify(
     clusters: List[List[int]],
-    poi_xy: np.ndarray,
+    poi_xy: MetersArray,
     poi_tags: Sequence[str],
     v_min: float,
     r3sigma: float,

@@ -22,8 +22,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.extraction import FineGrainedPattern
-from repro.data.trajectory import SemanticTrajectory, StayPoint
+from repro.data.trajectory import SemanticProperty, SemanticTrajectory, StayPoint
 from repro.geo.projection import LocalProjection
+from repro.types import Float64Array, MetersArray
 
 
 @dataclass(frozen=True)
@@ -80,7 +81,7 @@ class PatternMatcher:
         self.patterns = list(patterns)
         self.projection = projection
         self.radius_m = radius_m
-        self._rep_xy: List[np.ndarray] = [
+        self._rep_xy: List[MetersArray] = [
             projection.to_meters_array(
                 [(sp.lon, sp.lat) for sp in p.representatives]
             )
@@ -90,8 +91,8 @@ class PatternMatcher:
     # -- matching -----------------------------------------------------------
 
     def _position_matches(
-        self, pattern_idx: int, position: int, sp_xy: np.ndarray,
-        tags,
+        self, pattern_idx: int, position: int, sp_xy: Float64Array,
+        tags: SemanticProperty,
     ) -> bool:
         pattern = self.patterns[pattern_idx]
         rep = self._rep_xy[pattern_idx][position]
@@ -120,7 +121,7 @@ class PatternMatcher:
         for idx, pattern in enumerate(self.patterns):
             if len(pattern) < len(observed):
                 continue
-            positions = []
+            positions: List[int] = []
             for k, sp in enumerate(observed.stay_points):
                 if self._position_matches(idx, k, obs_xy[k], sp.semantics):
                     positions.append(k)
@@ -148,7 +149,7 @@ class PatternMatcher:
         if not matches:
             return []
 
-        buckets: Dict[Tuple[str, int, int], Dict] = {}
+        buckets: Dict[Tuple[str, int, int], Dict[str, float]] = {}
         for m in matches:
             k = len(m.matched_positions)
             rep = m.pattern.representatives[k]
@@ -163,6 +164,8 @@ class PatternMatcher:
             )
             bucket["support"] += m.pattern.support
 
+        # reprolint: allow-unordered -- integer support counts; integer
+        # addition is exact, so iteration order cannot change the total.
         total = sum(b["support"] for b in buckets.values())
         forecasts = [
             NextStopForecast(

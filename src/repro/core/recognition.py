@@ -122,10 +122,14 @@ class CSDRecognizer:
         winner_of[vstay[win_rows]] = vunit[win_rows]
         # Tag union of the winning unit's in-range POIs, per stay.
         tags = self.csd.poi_tags()
-        in_range: List[set] = [set() for _ in range(n)]
+        in_range: List[set[str]] = [set() for _ in range(n)]
         winning = winner_of[stay_of] == unit_ids
+        # reprolint: allow-loop -- tag-set union per stay point; tags are
+        # Python strings, so this marshalling step has no numpy kernel.
         for stay, poi_idx in zip(stay_of[winning], hit_idx[winning]):
             in_range[stay].add(tags[poi_idx])
+        # reprolint: allow-loop -- one iteration per recognised stay to
+        # build its frozenset property; output objects, not kernel math.
         for stay in vstay[win_rows]:
             unit = self.csd.unit(int(winner_of[stay]))
             distribution = unit.semantic_distribution
@@ -168,6 +172,8 @@ class CSDRecognizer:
             props = [p for part in parts for p in part]
         out: List[SemanticTrajectory] = []
         cursor = 0
+        # reprolint: allow-loop -- reassembling per-trajectory objects
+        # from the flat recognition results; not array iteration.
         for st in trajectories:
             stays = [
                 sp.with_semantics(props[cursor + i])

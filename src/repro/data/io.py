@@ -1,0 +1,162 @@
+"""CSV round-trips for POIs, taxi trips, and mined patterns.
+
+A downstream user will want to persist the (expensive) simulation and
+mining outputs; these helpers use the stdlib ``csv`` module with
+explicit headers so the files are greppable and diff-friendly.
+Semantic properties are serialised as ``|``-joined sorted tags.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.data.poi import POI
+from repro.data.taxi import TaxiTrip
+from repro.data.trajectory import SemanticProperty, SemanticTrajectory, StayPoint
+
+PathLike = Union[str, Path]
+
+_TAG_SEP = "|"
+
+
+def _tags_to_str(semantics: Iterable[str]) -> str:
+    return _TAG_SEP.join(sorted(semantics))
+
+
+def _str_to_tags(text: str) -> SemanticProperty:
+    return frozenset(t for t in text.split(_TAG_SEP) if t)
+
+
+# -- POIs -------------------------------------------------------------------
+
+POI_FIELDS = ["poi_id", "lon", "lat", "major", "minor", "name"]
+
+
+def write_pois(path: PathLike, pois: Sequence[POI]) -> None:
+    """Write POIs to CSV with a header row."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(POI_FIELDS)
+        for p in pois:
+            writer.writerow([p.poi_id, p.lon, p.lat, p.major, p.minor, p.name])
+
+
+def read_pois(path: PathLike) -> List[POI]:
+    """Read POIs written by :func:`write_pois`."""
+    out: List[POI] = []
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        for row in reader:
+            out.append(
+                POI(
+                    poi_id=int(row["poi_id"]),
+                    lon=float(row["lon"]),
+                    lat=float(row["lat"]),
+                    major=row["major"],
+                    minor=row["minor"],
+                    name=row["name"],
+                )
+            )
+    return out
+
+
+# -- taxi trips ---------------------------------------------------------------
+
+TRIP_FIELDS = [
+    "trip_id", "passenger_id",
+    "pickup_lon", "pickup_lat", "pickup_t",
+    "dropoff_lon", "dropoff_lat", "dropoff_t",
+    "pickup_truth", "dropoff_truth",
+]
+
+
+def write_trips(path: PathLike, trips: Sequence[TaxiTrip]) -> None:
+    """Write taxi trips to CSV; anonymous passengers serialise as ''."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(TRIP_FIELDS)
+        for tr in trips:
+            writer.writerow([
+                tr.trip_id,
+                "" if tr.passenger_id is None else tr.passenger_id,
+                tr.pickup.lon, tr.pickup.lat, tr.pickup.t,
+                tr.dropoff.lon, tr.dropoff.lat, tr.dropoff.t,
+                tr.pickup_truth, tr.dropoff_truth,
+            ])
+
+
+def read_trips(path: PathLike) -> List[TaxiTrip]:
+    """Read taxi trips written by :func:`write_trips`."""
+    out: List[TaxiTrip] = []
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        for row in reader:
+            pid = row["passenger_id"]
+            out.append(
+                TaxiTrip(
+                    trip_id=int(row["trip_id"]),
+                    passenger_id=None if pid == "" else int(pid),
+                    pickup=StayPoint(
+                        float(row["pickup_lon"]),
+                        float(row["pickup_lat"]),
+                        float(row["pickup_t"]),
+                    ),
+                    dropoff=StayPoint(
+                        float(row["dropoff_lon"]),
+                        float(row["dropoff_lat"]),
+                        float(row["dropoff_t"]),
+                    ),
+                    pickup_truth=row["pickup_truth"],
+                    dropoff_truth=row["dropoff_truth"],
+                )
+            )
+    return out
+
+
+# -- semantic trajectories -----------------------------------------------------
+
+TRAJ_FIELDS = ["traj_id", "order", "lon", "lat", "t", "semantics"]
+
+
+def write_semantic_trajectories(
+    path: PathLike, trajectories: Sequence[SemanticTrajectory]
+) -> None:
+    """One row per stay point; ``order`` preserves sequence position."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(TRAJ_FIELDS)
+        for st in trajectories:
+            for k, sp in enumerate(st.stay_points):
+                writer.writerow(
+                    [st.traj_id, k, sp.lon, sp.lat, sp.t,
+                     _tags_to_str(sp.semantics)]
+                )
+
+
+def read_semantic_trajectories(path: PathLike) -> List[SemanticTrajectory]:
+    """Read trajectories written by :func:`write_semantic_trajectories`."""
+    rows: List[Tuple[int, int, StayPoint]] = []
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        for row in reader:
+            rows.append(
+                (
+                    int(row["traj_id"]),
+                    int(row["order"]),
+                    StayPoint(
+                        float(row["lon"]),
+                        float(row["lat"]),
+                        float(row["t"]),
+                        _str_to_tags(row["semantics"]),
+                    ),
+                )
+            )
+    rows.sort(key=lambda r: (r[0], r[1]))
+    out: List[SemanticTrajectory] = []
+    for traj_id, _order, sp in rows:
+        if not out or out[-1].traj_id != traj_id:
+            out.append(SemanticTrajectory(traj_id, []))
+        out[-1].stay_points.append(sp)
+    return out

@@ -1,0 +1,122 @@
+"""Persistence for the City Semantic Diagram.
+
+Construction cost grows with POIs x stay points, while the diagram
+itself is small; a downstream deployment builds the CSD offline and
+serves recognition from the loaded artifact.  The format is a single
+JSON document (stdlib only) carrying the POIs, per-POI popularity, unit
+membership, and the projection anchor — everything
+:class:`~repro.core.csd.CitySemanticDiagram` needs to reconstruct
+itself exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.csd import CitySemanticDiagram, SemanticUnit
+from repro.data.poi import POI
+from repro.geo.projection import LocalProjection
+
+PathLike = Union[str, Path]
+
+#: Format marker so later revisions can migrate old artifacts.
+FORMAT_VERSION = 1
+
+
+def save_csd(path: PathLike, csd: CitySemanticDiagram) -> None:
+    """Serialise a diagram to JSON."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "tag_level": csd.tag_level,
+        "projection": {
+            "origin_lon": csd.projection.origin_lon,
+            "origin_lat": csd.projection.origin_lat,
+        },
+        "pois": [
+            [p.poi_id, p.lon, p.lat, p.major, p.minor, p.name]
+            for p in csd.pois
+        ],
+        "popularity": csd.popularity.tolist(),
+        "unit_of": csd.unit_of.tolist(),
+        "units": [
+            {
+                "unit_id": u.unit_id,
+                "poi_indices": u.poi_indices,
+                "centroid_xy": list(u.centroid_xy),
+                "semantic_distribution": u.semantic_distribution,
+            }
+            for u in csd.units
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(document, f)
+
+
+def load_csd(path: PathLike) -> CitySemanticDiagram:
+    """Reconstruct a diagram saved by :func:`save_csd`.
+
+    Raises ``ValueError`` on unknown format versions or structurally
+    inconsistent documents.
+    """
+    with open(path) as f:
+        document = json.load(f)
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported CSD format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    projection = LocalProjection(
+        document["projection"]["origin_lon"],
+        document["projection"]["origin_lat"],
+    )
+    pois = [
+        POI(int(pid), float(lon), float(lat), major, minor, name)
+        for pid, lon, lat, major, minor, name in document["pois"]
+    ]
+    poi_xy = projection.to_meters_array([(p.lon, p.lat) for p in pois])
+    units = [
+        SemanticUnit(
+            unit_id=int(u["unit_id"]),
+            poi_indices=[int(i) for i in u["poi_indices"]],
+            centroid_xy=(
+                float(u["centroid_xy"][0]), float(u["centroid_xy"][1])
+            ),
+            semantic_distribution={
+                str(tag): float(w)
+                for tag, w in u["semantic_distribution"].items()
+            },
+        )
+        for u in document["units"]
+    ]
+    csd = CitySemanticDiagram(
+        pois=pois,
+        projection=projection,
+        poi_xy=poi_xy,
+        popularity=np.asarray(document["popularity"], dtype=float),
+        units=units,
+        unit_of=np.asarray(document["unit_of"], dtype=int),
+        tag_level=document.get("tag_level", "major"),
+    )
+    _check_consistency(csd)
+    return csd
+
+
+def _check_consistency(csd: CitySemanticDiagram) -> None:
+    """Fail loudly on corrupt artifacts instead of mis-recognising."""
+    for unit in csd.units:
+        for i in unit.poi_indices:
+            if not 0 <= i < csd.n_pois:
+                raise ValueError(
+                    f"unit {unit.unit_id} references POI index {i} "
+                    f"outside the dataset"
+                )
+            if csd.unit_of[i] != unit.unit_id:
+                raise ValueError(
+                    f"unit_of[{i}] disagrees with unit {unit.unit_id}'s "
+                    "membership list"
+                )

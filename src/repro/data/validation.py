@@ -1,0 +1,194 @@
+"""Dataset validation for user-provided POI and trajectory data.
+
+The pipeline accepts any data matching the CSV formats of
+:mod:`repro.data.io`; before an expensive mining run it pays to check
+the inputs are sane.  :func:`validate_dataset` runs the checks the
+algorithms implicitly depend on and returns a structured report:
+
+- coordinates inside WGS-84 bounds and within a plausible city extent;
+- stay points time-ordered within each trajectory;
+- POI density sufficient for Algorithm 1's ``MinPts`` to ever hold;
+- category coverage (recognition can only emit tags that exist);
+- trajectory length distribution (PrefixSpan needs length >= 2).
+
+Failures are reported, not raised, so callers can decide what is fatal;
+``report.ok`` summarises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.poi import POI, poi_lonlat_array
+from repro.data.trajectory import SemanticTrajectory
+from repro.geo.index import GridIndex
+from repro.geo.projection import LocalProjection
+
+
+@dataclass
+class Issue:
+    """One validation finding."""
+
+    severity: str  # "error" | "warning"
+    code: str
+    message: str
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_dataset`."""
+
+    issues: List[Issue] = field(default_factory=list)
+    n_pois: int = 0
+    n_trajectories: int = 0
+    n_stay_points: int = 0
+    extent_km: float = 0.0
+    median_poi_neighbours_30m: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity issue was found."""
+        return not any(i.severity == "error" for i in self.issues)
+
+    def errors(self) -> List[Issue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    def warnings(self) -> List[Issue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    def _add(self, severity: str, code: str, message: str) -> None:
+        self.issues.append(Issue(severity, code, message))
+
+
+def validate_dataset(
+    pois: Sequence[POI],
+    trajectories: Sequence[SemanticTrajectory],
+    min_pts: int = 5,
+    eps_p_m: float = 30.0,
+    max_extent_km: float = 200.0,
+) -> ValidationReport:
+    """Run all input checks; never raises on bad data."""
+    report = ValidationReport(
+        n_pois=len(pois),
+        n_trajectories=len(trajectories),
+        n_stay_points=sum(len(st) for st in trajectories),
+    )
+
+    if not pois:
+        report._add("error", "no-pois", "POI dataset is empty")
+    if not trajectories:
+        report._add("error", "no-trajectories", "trajectory dataset is empty")
+    if not report.ok:
+        return report
+
+    _check_coordinates(pois, trajectories, max_extent_km, report)
+    _check_time_ordering(trajectories, report)
+    # The density check projects the POIs; with non-finite or
+    # out-of-range coordinates in play the projection itself raises,
+    # breaking the never-raise contract — skip it once coordinates are
+    # known bad.
+    if report.ok:
+        _check_poi_density(pois, min_pts, eps_p_m, report)
+    _check_lengths(trajectories, report)
+    return report
+
+
+def _check_coordinates(
+    pois: Sequence[POI],
+    trajectories: Sequence[SemanticTrajectory],
+    max_extent_km: float,
+    report: ValidationReport,
+) -> None:
+    lonlat = [(p.lon, p.lat) for p in pois]
+    lonlat += [
+        (sp.lon, sp.lat) for st in trajectories for sp in st.stay_points
+    ]
+    arr = np.asarray(lonlat, dtype=float)
+    # Non-finite coordinates must be caught here: NaN compares False
+    # against every bound, so a plain range check lets NaN rows through
+    # and poisons the projection centroid below.
+    bad = int(
+        (
+            ~np.isfinite(arr).all(axis=1)
+            | (np.abs(arr[:, 0]) > 180.0)
+            | (np.abs(arr[:, 1]) > 90.0)
+        ).sum()
+    )
+    if bad:
+        report._add(
+            "error", "bad-coordinates",
+            f"{bad} coordinates outside WGS-84 bounds",
+        )
+        return
+    projection = LocalProjection.for_points(arr)
+    xy = projection.to_meters_array(arr)
+    extent_km = float(
+        max(xy[:, 0].max() - xy[:, 0].min(), xy[:, 1].max() - xy[:, 1].min())
+    ) / 1000.0
+    report.extent_km = extent_km
+    if extent_km > max_extent_km:
+        report._add(
+            "warning", "huge-extent",
+            f"data spans {extent_km:.0f} km — did two cities get mixed?",
+        )
+
+
+def _check_time_ordering(
+    trajectories: Sequence[SemanticTrajectory], report: ValidationReport
+) -> None:
+    disordered = sum(1 for st in trajectories if not st.is_time_ordered())
+    if disordered:
+        report._add(
+            "error", "time-disorder",
+            f"{disordered} trajectories are not time ordered",
+        )
+
+
+def _check_poi_density(
+    pois: Sequence[POI],
+    min_pts: int,
+    eps_p_m: float,
+    report: ValidationReport,
+) -> None:
+    lonlat = poi_lonlat_array(pois)
+    projection = LocalProjection.for_points(lonlat)
+    xy = projection.to_meters_array(lonlat)
+    index = GridIndex(xy, cell_size=max(eps_p_m, 1.0))
+    sample = xy[:: max(len(xy) // 500, 1)]
+    neighbours = [
+        index.count_within(float(x), float(y), eps_p_m) for x, y in sample
+    ]
+    median = float(np.median(neighbours))
+    report.median_poi_neighbours_30m = median
+    if median < min_pts:
+        report._add(
+            "warning", "sparse-pois",
+            f"median POI has {median:.0f} neighbours within {eps_p_m:.0f} m "
+            f"but Algorithm 1 needs MinPts={min_pts}; expect a fragmented "
+            "diagram (lower MinPts or supply denser POIs)",
+        )
+
+
+def _check_lengths(
+    trajectories: Sequence[SemanticTrajectory], report: ValidationReport
+) -> None:
+    lengths = np.array([len(st) for st in trajectories])
+    short = int((lengths < 2).sum())
+    if short:
+        report._add(
+            "warning", "short-trajectories",
+            f"{short} trajectories have fewer than 2 stay points and "
+            "cannot support any pattern",
+        )
+    tagged = sum(
+        1 for st in trajectories for sp in st.stay_points if sp.semantics
+    )
+    if tagged:
+        report._add(
+            "warning", "pre-tagged",
+            f"{tagged} stay points already carry semantics; recognition "
+            "will overwrite them",
+        )

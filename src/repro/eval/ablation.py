@@ -21,7 +21,7 @@ the end-to-end pattern metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -33,21 +33,24 @@ from repro.core.merging import merge_units, unit_distribution
 from repro.core.popularity import compute_popularity
 from repro.core.purification import purify
 from repro.core.recognition import CSDRecognizer
+from repro.data.poi import POI
 from repro.data.trajectory import (
     NO_SEMANTICS,
+    SemanticProperty,
     SemanticTrajectory,
     StayPoint,
 )
 from repro.eval.experiments import ExperimentWorkload
 from repro.eval.metrics import recognition_accuracy, summarize_patterns
 from repro.geo.index import GridIndex
+from repro.geo.projection import LocalProjection
 
 
 def build_csd_ablated(
-    pois,
+    pois: Sequence[POI],
     stay_points: Sequence[StayPoint],
     config: CSDConfig,
-    projection=None,
+    projection: Optional[LocalProjection] = None,
     with_purification: bool = True,
     with_merging: bool = True,
     gaussian_popularity: bool = True,
@@ -81,7 +84,8 @@ def build_csd_ablated(
             config.merge_cos, config.merge_radius_m,
         )
 
-    unit_of = np.full(len(pois), UNASSIGNED, dtype=int)
+    # The CSD contract is int64 unit ids; dtype=int is int32 on Windows.
+    unit_of = np.full(len(pois), UNASSIGNED, dtype=np.int64)
     units: List[SemanticUnit] = []
     for unit_id, members in enumerate(clusters):
         for i in members:
@@ -107,7 +111,7 @@ class NearestPOIRecognizer:
         self.csd = csd
         self.r3sigma_m = r3sigma_m
 
-    def recognize_point(self, sp: StayPoint):
+    def recognize_point(self, sp: StayPoint) -> SemanticProperty:
         x, y = self.csd.projection.to_meters(sp.lon, sp.lat)
         hits = self.csd.range_query(x, y, self.r3sigma_m)
         if len(hits) == 0:
@@ -116,7 +120,9 @@ class NearestPOIRecognizer:
         nearest = int(hits[int(np.argmin(d))])
         return self.csd.pois[nearest].semantics
 
-    def recognize(self, trajectories: Sequence[SemanticTrajectory]):
+    def recognize(
+        self, trajectories: Sequence[SemanticTrajectory]
+    ) -> List[SemanticTrajectory]:
         return [
             SemanticTrajectory(
                 st.traj_id,
@@ -174,6 +180,7 @@ def run_ablation(
             with_merging=name != "no-merging",
             gaussian_popularity=name != "uniform-popularity",
         )
+        recognizer: Union[NearestPOIRecognizer, CSDRecognizer]
         if name == "nearest-poi":
             recognizer = NearestPOIRecognizer(csd, config.r3sigma_m)
         else:

@@ -14,13 +14,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.extraction import FineGrainedPattern
-from repro.data.trajectory import SemanticProperty
+from repro.data.trajectory import SemanticProperty, SemanticTrajectory, StayPoint
 from repro.geo.projection import LocalProjection
+from repro.types import Float64Array, IndexArray
 
 
 def semantic_cosine(a: SemanticProperty, b: SemanticProperty) -> float:
@@ -39,7 +40,7 @@ def pattern_spatial_sparsity(
     """Equations 9-10: average within-group pairwise distance, metres."""
     if not pattern.groups:
         return 0.0
-    per_group = []
+    per_group: List[float] = []
     for group in pattern.groups:
         xy = projection.to_meters_array([(sp.lon, sp.lat) for sp in group])
         n = len(xy)
@@ -58,10 +59,12 @@ def pattern_spatial_sparsity(
 #: semantic property queried by semantic recognition from CSD" — i.e.
 #: consistency is judged against CSD labels even for ROI-based
 #: approaches.  Build one with :func:`reference_semantics`.
-ReferenceSemantics = dict
+ReferenceSemantics = Dict[Tuple[float, float, float], SemanticProperty]
 
 
-def reference_semantics(database) -> ReferenceSemantics:
+def reference_semantics(
+    database: Sequence[SemanticTrajectory],
+) -> ReferenceSemantics:
     """Reference map from a CSD-recognised trajectory database."""
     out: ReferenceSemantics = {}
     for st in database:
@@ -83,12 +86,12 @@ def pattern_semantic_consistency(
     if not pattern.groups:
         return 0.0
 
-    def tags_of(sp) -> SemanticProperty:
+    def tags_of(sp: StayPoint) -> SemanticProperty:
         if reference is None:
             return sp.semantics
         return reference.get((sp.lon, sp.lat, sp.t), sp.semantics)
 
-    per_group = []
+    per_group: List[float] = []
     for group in pattern.groups:
         n = len(group)
         if n < 2:
@@ -156,7 +159,7 @@ def sparsity_histogram(
     sparsities: Sequence[float],
     bin_width: float = 5.0,
     n_bins: int = 20,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[Float64Array, IndexArray]:
     """Figure 9's frequency curve: 20 bins of width 5 m over [0, 100).
 
     Returns ``(bin_lefts, counts)``; values at or beyond the last edge
@@ -165,8 +168,8 @@ def sparsity_histogram(
     """
     if bin_width <= 0 or n_bins < 1:
         raise ValueError("bin_width and n_bins must be positive")
-    edges = np.arange(n_bins + 1) * bin_width
-    counts = np.zeros(n_bins, dtype=int)
+    edges = np.arange(n_bins + 1, dtype=np.float64) * bin_width
+    counts = np.zeros(n_bins, dtype=np.int64)
     for value in sparsities:
         idx = min(int(value // bin_width), n_bins - 1)
         counts[max(idx, 0)] += 1

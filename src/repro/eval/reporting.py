@@ -7,17 +7,19 @@ diffable without a plotting dependency.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 
 def format_table(
-    headers: Sequence[str], rows: Sequence[Sequence], precision: int = 3
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    precision: int = 3,
 ) -> str:
     """Fixed-width table; floats rounded to ``precision`` digits."""
 
-    def fmt(value) -> str:
+    def fmt(value: Any) -> str:
         if isinstance(value, float):
             return f"{value:.{precision}f}"
         return str(value)
@@ -45,7 +47,7 @@ def render_histogram(
     """ASCII frequency curve for the Figure 9 bench."""
     counts = list(counts)
     peak = max(counts) if counts else 0
-    lines = []
+    lines: List[str] = []
     for left, count in zip(bin_lefts, counts):
         bar = "#" * (int(count / peak * max_bar) if peak else 0)
         lines.append(f"[{left:5.0f},{left + bin_width:5.0f})  {count:5d}  {bar}")
@@ -69,13 +71,13 @@ def box_stats(values: Sequence[float]) -> Dict[str, float]:
 
 def series_table(
     x_label: str,
-    x_values: Sequence,
+    x_values: Sequence[Any],
     series: Dict[str, List[float]],
     precision: int = 3,
 ) -> str:
     """One row per x value, one column per approach (Fig. 11-13 panels)."""
     headers = [x_label] + list(series)
-    rows: List[Tuple] = []
+    rows: List[Tuple[Any, ...]] = []
     for i, x in enumerate(x_values):
         rows.append(tuple([x] + [series[name][i] for name in series]))
     return format_table(headers, rows, precision)

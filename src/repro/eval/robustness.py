@@ -22,12 +22,13 @@ from repro.data.trajectory import SemanticTrajectory, StayPoint
 from repro.eval.ablation import NearestPOIRecognizer
 from repro.eval.experiments import ExperimentWorkload
 from repro.eval.metrics import recognition_accuracy
+from repro.geo.projection import LocalProjection
 
 
 def perturb_trajectories(
     trajectories: Sequence[SemanticTrajectory],
     noise_m: float,
-    projection,
+    projection: LocalProjection,
     seed: int = 0,
     outlier_rate: float = 0.0,
     outlier_m: float = 150.0,

@@ -13,6 +13,8 @@ import math
 
 import numpy as np
 
+from repro.types import Float64Array, MetersArray
+
 #: Mean Earth radius in metres (IUGG value, same constant AMAP uses).
 EARTH_RADIUS_M = 6_371_008.8
 
@@ -41,7 +43,7 @@ def equirectangular_distance(
     return EARTH_RADIUS_M * math.hypot(dx, dy)
 
 
-def pairwise_distances(xy: np.ndarray) -> np.ndarray:
+def pairwise_distances(xy: MetersArray) -> Float64Array:
     """Full Euclidean distance matrix for an ``(n, 2)`` array of metres.
 
     Intended for the small per-group computations of Equations (9) and
@@ -69,7 +71,7 @@ def gaussian_coefficient(distance_m: float, r3sigma: float) -> float:
     return norm * math.exp(-(distance_m ** 2) / (2.0 * sigma ** 2))
 
 
-def gaussian_coefficients(distances_m: np.ndarray, r3sigma: float) -> np.ndarray:
+def gaussian_coefficients(distances_m: Float64Array, r3sigma: float) -> Float64Array:
     """Vectorised :func:`gaussian_coefficient` over an array of metres."""
     if r3sigma <= 0.0:
         raise ValueError("r3sigma must be positive")

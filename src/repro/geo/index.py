@@ -19,9 +19,9 @@ merging run at hardware speed instead of interpreter speed.
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
+
+from repro.types import CSRQuery, IndexArray, MetersArray
 
 #: Cap on candidate window cells (batch path) or pairwise distances
 #: (brute path) materialised per chunk; bounds peak query memory.
@@ -41,7 +41,7 @@ class GridIndex:
         correct, only touching more cells.
     """
 
-    def __init__(self, xy: np.ndarray, cell_size: float = 100.0) -> None:
+    def __init__(self, xy: MetersArray, cell_size: float = 100.0) -> None:
         if cell_size <= 0.0:
             raise ValueError("cell_size must be positive")
         self._xy = np.asarray(xy, dtype=float).reshape(-1, 2).copy()
@@ -78,7 +78,7 @@ class GridIndex:
         return len(self._xy)
 
     @property
-    def points(self) -> np.ndarray:
+    def points(self) -> MetersArray:
         """Read-only view of the indexed coordinates."""
         view = self._xy.view()
         view.flags.writeable = False
@@ -89,7 +89,7 @@ class GridIndex:
         """Number of grid cells holding at least one point."""
         return self._n_cells
 
-    def query_radius(self, x: float, y: float, radius: float) -> np.ndarray:
+    def query_radius(self, x: float, y: float, radius: float) -> IndexArray:
         """Indices of points within ``radius`` metres of ``(x, y)``.
 
         The result is sorted ascending so downstream iteration order is
@@ -102,9 +102,7 @@ class GridIndex:
         )
         return indices
 
-    def query_radius_many(
-        self, centers: np.ndarray, radius: float
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    def query_radius_many(self, centers: MetersArray, radius: float) -> CSRQuery:
         """Batched circular range query in CSR form.
 
         Parameters
@@ -148,8 +146,8 @@ class GridIndex:
         return indices, offsets
 
     def _window_many(
-        self, ctr: np.ndarray, radius: float, span: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        self, ctr: MetersArray, radius: float, span: int
+    ) -> CSRQuery:
         """Grid-window batch kernel: broadcast over the cell window.
 
         A window column (fixed ``gx``, all ``gy`` in the window) spans
@@ -202,9 +200,7 @@ class GridIndex:
         offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
         return hits, offsets
 
-    def _brute_many(
-        self, ctr: np.ndarray, radius: float
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    def _brute_many(self, ctr: MetersArray, radius: float) -> CSRQuery:
         """All-points batch kernel for radii spanning the whole grid."""
         m = len(ctr)
         n = len(self._xy)
@@ -228,7 +224,7 @@ class GridIndex:
         """Number of indexed points within ``radius`` of ``(x, y)``."""
         return int(len(self.query_radius(x, y, radius)))
 
-    def nearest(self, x: float, y: float, k: int = 1) -> np.ndarray:
+    def nearest(self, x: float, y: float, k: int = 1) -> IndexArray:
         """Indices of the ``k`` nearest points, closest first.
 
         Searches expanding rings of grid cells, stopping once the best
@@ -239,7 +235,7 @@ class GridIndex:
             raise ValueError("k must be at least 1")
         n = len(self._xy)
         if n == 0:
-            return np.empty(0, dtype=int)
+            return np.empty(0, dtype=np.int64)
         k = min(k, n)
         for span in range(1, max(2, int(np.sqrt(self._n_cells)) + 2)):
             radius = span * self._cell
@@ -251,4 +247,5 @@ class GridIndex:
                 return hits[np.argsort(d2, kind="stable")[:k]]
         # Sparser than any ring we tried: brute force the remainder.
         d2 = ((self._xy - (x, y)) ** 2).sum(axis=1)
-        return np.argsort(d2, kind="stable")[:k]
+        # argsort yields platform intp; the index contract is int64.
+        return np.argsort(d2, kind="stable")[:k].astype(np.int64, copy=False)

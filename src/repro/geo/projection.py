@@ -16,6 +16,7 @@ from typing import Iterable, Sequence, Tuple
 import numpy as np
 
 from repro.geo.distance import EARTH_RADIUS_M
+from repro.types import LonLat, LonLatArray, MetersArray, MetersXY
 
 
 class LocalProjection:
@@ -38,26 +39,26 @@ class LocalProjection:
         self._m_per_deg_lon = self._m_per_deg_lat * self._cos_phi
 
     @classmethod
-    def for_points(cls, lonlat: Iterable[Tuple[float, float]]) -> "LocalProjection":
+    def for_points(cls, lonlat: Iterable[LonLat]) -> "LocalProjection":
         """Build a projection anchored at the centroid of ``lonlat`` pairs."""
         arr = np.asarray(list(lonlat), dtype=float)
         if arr.size == 0:
             raise ValueError("cannot anchor a projection on zero points")
         return cls(float(arr[:, 0].mean()), float(arr[:, 1].mean()))
 
-    def to_meters(self, lon: float, lat: float) -> Tuple[float, float]:
+    def to_meters(self, lon: float, lat: float) -> MetersXY:
         """Project one lon/lat pair to (east, north) metres."""
         x = (lon - self.origin_lon) * self._m_per_deg_lon
         y = (lat - self.origin_lat) * self._m_per_deg_lat
         return x, y
 
-    def to_lonlat(self, x: float, y: float) -> Tuple[float, float]:
+    def to_lonlat(self, x: float, y: float) -> LonLat:
         """Invert :meth:`to_meters` for one metre pair."""
         lon = self.origin_lon + x / self._m_per_deg_lon
         lat = self.origin_lat + y / self._m_per_deg_lat
         return lon, lat
 
-    def to_meters_array(self, lonlat: Sequence[Tuple[float, float]]) -> np.ndarray:
+    def to_meters_array(self, lonlat: Sequence[LonLat]) -> MetersArray:
         """Project an ``(n, 2)`` lon/lat array to an ``(n, 2)`` metre array."""
         arr = np.asarray(lonlat, dtype=float)
         if arr.size == 0:
@@ -67,7 +68,7 @@ class LocalProjection:
         out[:, 1] = (arr[:, 1] - self.origin_lat) * self._m_per_deg_lat
         return out
 
-    def to_lonlat_array(self, xy: Sequence[Tuple[float, float]]) -> np.ndarray:
+    def to_lonlat_array(self, xy: Sequence[MetersXY]) -> LonLatArray:
         """Invert :meth:`to_meters_array`."""
         arr = np.asarray(xy, dtype=float)
         if arr.size == 0:

@@ -7,6 +7,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.types import Float64Array, MetersArray
+
 #: Floor on the mean radius used by :func:`spatial_density`, in metres.
 #: Prevents the density of near-coincident points from exploding; one
 #: metre is below GPS resolution so the floor never changes a comparison
@@ -14,7 +16,7 @@ import numpy as np
 MIN_DENSITY_RADIUS_M = 1.0
 
 
-def centroid(xy: np.ndarray) -> np.ndarray:
+def centroid(xy: MetersArray) -> Float64Array:
     """Arithmetic mean point of an ``(n, 2)`` array."""
     pts = np.asarray(xy, dtype=float)
     if pts.ndim != 2 or pts.shape[1] != 2 or len(pts) == 0:
@@ -22,14 +24,14 @@ def centroid(xy: np.ndarray) -> np.ndarray:
     return pts.mean(axis=0)
 
 
-def medoid_index(xy: np.ndarray) -> int:
+def medoid_index(xy: MetersArray) -> int:
     """Index of the point closest to the centroid (Alg. 4 line 19)."""
     pts = np.asarray(xy, dtype=float)
     c = centroid(pts)
     return int(np.argmin(((pts - c) ** 2).sum(axis=1)))
 
 
-def spatial_variance(xy: np.ndarray) -> float:
+def spatial_variance(xy: MetersArray) -> float:
     """Spatial variance ``Var(S)`` of Equation (1), in square metres.
 
     Defined with an ``n - 1`` denominator; a singleton set has zero
@@ -44,7 +46,7 @@ def spatial_variance(xy: np.ndarray) -> float:
     return float(((pts - c) ** 2).sum() / (n - 1))
 
 
-def mean_pairwise_distance(xy: np.ndarray) -> float:
+def mean_pairwise_distance(xy: MetersArray) -> float:
     """Average pairwise Euclidean distance; the ``ss`` kernel of Eq. (9).
 
     Returns 0.0 for groups of fewer than two points.
@@ -59,7 +61,7 @@ def mean_pairwise_distance(xy: np.ndarray) -> float:
     return float(dist[iu].mean())
 
 
-def spatial_density(xy: np.ndarray) -> float:
+def spatial_density(xy: MetersArray) -> float:
     """Spatial density ``Den(S)`` in points per square metre.
 
     The paper uses ``Den`` without a closed form (Definition 11,

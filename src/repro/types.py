@@ -1,0 +1,80 @@
+"""Shared type vocabulary for the reproduction's public API.
+
+The pipeline's correctness rests on conventions that plain ``np.ndarray``
+annotations cannot express: coordinates are either WGS-84 degrees or
+projected local metres, kernel arrays are C-contiguous ``float64`` /
+``int64``, and batched range queries travel as CSR ``(indices, offsets)``
+pairs.  The aliases below make those conventions legible at every
+signature, give ``mypy`` something concrete to check, and give human
+reviewers a one-word answer to "degrees or metres?".
+
+Conventions
+-----------
+``LonLat``
+    One WGS-84 coordinate pair, ``(longitude_deg, latitude_deg)`` — in
+    that order, matching GeoJSON and every CSV format in
+    :mod:`repro.data.io`.
+``MetersXY``
+    One projected local-tangent-plane pair, ``(east_m, north_m)``,
+    produced by :class:`repro.geo.projection.LocalProjection`.
+``LonLatArray`` / ``MetersArray``
+    ``(n, 2)`` ``float64`` arrays of the corresponding pairs.  The
+    element dtype is enforced (``float64``); the shape convention is
+    documented here and validated at runtime by the constructors that
+    consume them.
+``Float64Array`` / ``IndexArray``
+    Generic ``float64`` / ``int64`` arrays for weights, distances and
+    index vectors.  Kernel code must not silently mix ``int32`` /
+    platform-``int`` with ``int64`` (reprolint and the typing gate both
+    exist to keep that true).
+``CSRQuery``
+    The batched range-query result ``(indices, offsets)``: hits for
+    centre ``i`` are ``indices[offsets[i]:offsets[i + 1]]``, with
+    ``len(offsets) == n_centers + 1`` and ``offsets[0] == 0``.  See
+    :meth:`repro.geo.index.GridIndex.query_radius_many`.
+
+Only aliases live here — no runtime logic — so importing this module is
+free and can never create an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+#: One WGS-84 ``(longitude_deg, latitude_deg)`` pair.
+LonLat = Tuple[float, float]
+
+#: One projected ``(east_m, north_m)`` local-metre pair.
+MetersXY = Tuple[float, float]
+
+#: Generic ``float64`` array (weights, distances, popularity, ...).
+Float64Array = npt.NDArray[np.float64]
+
+#: Generic ``int64`` index array (point ids, CSR offsets, labels, ...).
+IndexArray = npt.NDArray[np.int64]
+
+#: ``(n, 2)`` ``float64`` array of lon/lat pairs (degrees).
+LonLatArray = npt.NDArray[np.float64]
+
+#: ``(n, 2)`` ``float64`` array of projected metre pairs.
+MetersArray = npt.NDArray[np.float64]
+
+#: Boolean mask array.
+BoolArray = npt.NDArray[np.bool_]
+
+#: CSR-form batched range-query result: ``(indices, offsets)``.
+CSRQuery = Tuple[IndexArray, IndexArray]
+
+__all__ = [
+    "LonLat",
+    "MetersXY",
+    "Float64Array",
+    "IndexArray",
+    "LonLatArray",
+    "MetersArray",
+    "BoolArray",
+    "CSRQuery",
+]

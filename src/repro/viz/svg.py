@@ -17,6 +17,8 @@ from repro.core.csd import CitySemanticDiagram
 from repro.core.extraction import FineGrainedPattern
 from repro.core.patterns import pattern_time_bucket, route_label
 from repro.data.geojson import _convex_hull
+from repro.geo.projection import LocalProjection
+from repro.types import Float64Array, MetersArray, MetersXY
 
 PathLike = Union[str, Path]
 
@@ -54,7 +56,7 @@ class _Canvas:
     """Maps metre coordinates into an SVG viewport and collects shapes."""
 
     def __init__(
-        self, xy_min: np.ndarray, xy_max: np.ndarray,
+        self, xy_min: Float64Array, xy_max: Float64Array,
         width: int, margin: int = 20,
     ) -> None:
         self.margin = margin
@@ -65,13 +67,13 @@ class _Canvas:
         self.height = int(span[1] * self.scale) + 2 * margin
         self.elements: List[str] = []
 
-    def project(self, x: float, y: float):
+    def project(self, x: float, y: float) -> MetersXY:
         px = self.margin + (x - self.origin[0]) * self.scale
         # SVG y grows downward; flip north up.
         py = self.height - self.margin - (y - self.origin[1]) * self.scale
         return px, py
 
-    def polygon(self, xy: np.ndarray, fill: str, title: str) -> None:
+    def polygon(self, xy: MetersArray, fill: str, title: str) -> None:
         points = " ".join(
             f"{px:.1f},{py:.1f}" for px, py in (self.project(x, y) for x, y in xy)
         )
@@ -89,7 +91,7 @@ class _Canvas:
         )
 
     def polyline(
-        self, xy: np.ndarray, stroke: str, width: float, title: str
+        self, xy: MetersArray, stroke: str, width: float, title: str
     ) -> None:
         points = " ".join(
             f"{px:.1f},{py:.1f}" for px, py in (self.project(x, y) for x, y in xy)
@@ -142,7 +144,7 @@ def render_csd_svg(
 
 def render_patterns_svg(
     patterns: Sequence[FineGrainedPattern],
-    projection,
+    projection: LocalProjection,
     width: int = 900,
     color_by: str = "bucket",
 ) -> str:

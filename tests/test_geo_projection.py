@@ -37,6 +37,45 @@ class TestRoundTrip:
         assert proj.to_lonlat_array([]).shape == (0, 2)
 
 
+class TestScalarArrayConsistency:
+    """The scalar and batched projections must agree bit for bit: the
+    CSD stores batched coordinates while recognition projects single
+    stay points, and mixing the two paths must never move a point."""
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-0.05, 0.05), st.floats(-0.05, 0.05)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_to_meters_matches_to_meters_array(self, deltas):
+        proj = LocalProjection(*SHANGHAI)
+        lonlat = [
+            (SHANGHAI[0] + dlon, SHANGHAI[1] + dlat) for dlon, dlat in deltas
+        ]
+        batched = proj.to_meters_array(lonlat)
+        for (lon, lat), row in zip(lonlat, batched):
+            x, y = proj.to_meters(lon, lat)
+            assert x == row[0]
+            assert y == row[1]
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-5000, 5000), st.floats(-5000, 5000)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_to_lonlat_matches_to_lonlat_array(self, points):
+        proj = LocalProjection(*SHANGHAI)
+        batched = proj.to_lonlat_array(points)
+        for (x, y), row in zip(points, batched):
+            lon, lat = proj.to_lonlat(x, y)
+            assert lon == row[0]
+            assert lat == row[1]
+
+
 class TestAccuracy:
     def test_origin_maps_to_zero(self):
         proj = LocalProjection(*SHANGHAI)

@@ -1,0 +1,295 @@
+"""Unit tests for the reprolint static analyzer (tools/reprolint).
+
+Each RPL rule is exercised with a bad fixture that must fire and a good
+fixture that must stay silent, plus pragma-suppression coverage.  Rule
+scoping is driven entirely by the synthetic ``path`` argument of
+``check_source``, so fixtures can impersonate any module.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint import check_paths, check_source  # noqa: E402
+from tools.reprolint.cli import main as reprolint_main  # noqa: E402
+
+CORE = "src/repro/core/example.py"
+HOT = "src/repro/core/recognition.py"
+DATA = "src/repro/data/example.py"
+GEO = "src/repro/geo/example.py"
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestRPL001LonLatArithmetic:
+    def test_fires_on_lonlat_arithmetic_outside_geo(self):
+        code = "def f(lon, lat):\n    return lon * 111_000.0\n"
+        assert "RPL001" in rules_of(check_source(code, path=DATA))
+
+    def test_fires_on_delta_identifiers(self):
+        code = "def f(dlat):\n    return dlat / 2.0\n"
+        assert "RPL001" in rules_of(check_source(code, path=CORE))
+
+    def test_fires_on_attribute_access(self):
+        code = "def f(sp, other):\n    return sp.lon - other.lon\n"
+        assert "RPL001" in rules_of(check_source(code, path=DATA))
+
+    def test_fires_on_haversine_reimplementation(self):
+        code = "import math\ndef f(lat1):\n    return math.radians(lat1)\n"
+        found = rules_of(check_source(code, path=DATA))
+        assert "RPL001" in found
+
+    def test_fires_on_haversine_named_call(self):
+        code = "def f(a, b):\n    return my_haversine(a, b)\n"
+        assert "RPL001" in rules_of(check_source(code, path=DATA))
+
+    def test_silent_inside_geo(self):
+        code = "def f(lon, lat):\n    return lon * 111_000.0\n"
+        assert check_source(code, path=GEO) == []
+
+    def test_silent_on_routed_calls(self):
+        code = (
+            "from repro.geo.distance import haversine_distance\n"
+            "def f(a, b, c, d):\n"
+            "    return haversine_distance(a, b, c, d)\n"
+        )
+        # Calling the geo API by name is the sanctioned route; only
+        # re-implementations (arithmetic, math.radians) are flagged.
+        assert check_source(code, path=DATA) == []
+
+    def test_silent_on_unrelated_identifiers(self):
+        code = "def f(flat, latency):\n    return flat * latency\n"
+        assert check_source(code, path=CORE) == []
+
+    def test_silent_on_comparisons(self):
+        code = "def f(lon):\n    return abs(lon) > 180.0\n"
+        assert check_source(code, path=DATA) == []
+
+    def test_pragma_suppresses(self):
+        code = (
+            "def f(lon):\n"
+            "    # reprolint: allow-lonlat\n"
+            "    return lon + 0.5\n"
+        )
+        assert check_source(code, path=DATA) == []
+
+
+class TestRPL002HotLoops:
+    def test_fires_on_for_loop_in_hot_module(self):
+        code = "def f(xs):\n    for x in xs:\n        use(x)\n"
+        assert "RPL002" in rules_of(check_source(code, path=HOT))
+
+    def test_fires_on_zip_iteration(self):
+        code = "def f(a, b):\n    for x, y in zip(a, b):\n        use(x, y)\n"
+        assert "RPL002" in rules_of(check_source(code, path=HOT))
+
+    def test_silent_on_range_chunking(self):
+        code = "def f(m, chunk):\n    for s in range(0, m, chunk):\n        use(s)\n"
+        assert check_source(code, path=HOT) == []
+
+    def test_silent_outside_hot_modules(self):
+        code = "def f(xs):\n    for x in xs:\n        use(x)\n"
+        assert check_source(code, path="src/repro/core/patterns.py") == []
+
+    def test_silent_on_comprehensions(self):
+        # Comprehensions marshal data; statement loops do kernel work.
+        code = "def f(xs):\n    return [x + 1 for x in xs]\n"
+        assert check_source(code, path=HOT) == []
+
+    def test_pragma_suppresses(self):
+        code = (
+            "def f(xs):\n"
+            "    # reprolint: allow-loop -- reference oracle\n"
+            "    for x in xs:\n"
+            "        use(x)\n"
+        )
+        assert check_source(code, path=HOT) == []
+
+
+class TestRPL003UnorderedAccumulation:
+    def test_fires_on_sum_over_set_union(self):
+        code = (
+            "def cosine(p, q):\n"
+            "    return sum(p.get(s, 0.0) * q.get(s, 0.0) for s in set(p) | set(q))\n"
+        )
+        assert "RPL003" in rules_of(check_source(code, path=CORE))
+
+    def test_fires_on_sum_over_dict_values(self):
+        code = "def f(d):\n    return sum(d.values())\n"
+        assert "RPL003" in rules_of(check_source(code, path=CORE))
+
+    def test_fires_on_for_over_set(self):
+        code = "def f(items):\n    for x in set(items):\n        acc(x)\n"
+        assert "RPL003" in rules_of(check_source(code, path=CORE))
+
+    def test_silent_on_fsum(self):
+        code = "import math\ndef f(d):\n    return math.fsum(d.values())\n"
+        assert check_source(code, path=CORE) == []
+
+    def test_silent_on_sorted_iteration(self):
+        code = "def f(p, q):\n    for s in sorted(set(p) | set(q)):\n        acc(s)\n"
+        assert check_source(code, path=CORE) == []
+
+    def test_silent_outside_core(self):
+        code = "def f(d):\n    return sum(d.values())\n"
+        assert check_source(code, path=DATA) == []
+
+    def test_pragma_suppresses(self):
+        code = (
+            "def f(d):\n"
+            "    # reprolint: allow-unordered -- integer support counts\n"
+            "    return sum(d.values())\n"
+        )
+        assert check_source(code, path=CORE) == []
+
+
+class TestRPL004LegacyRandom:
+    def test_fires_on_np_random_seed(self):
+        code = "import numpy as np\nnp.random.seed(0)\n"
+        assert "RPL004" in rules_of(check_source(code, path=DATA))
+
+    def test_fires_on_np_random_rand(self):
+        code = "import numpy as np\nx = np.random.rand(10)\n"
+        assert "RPL004" in rules_of(check_source(code, path=CORE))
+
+    def test_fires_on_full_module_name(self):
+        code = "import numpy\nx = numpy.random.uniform(0, 1)\n"
+        assert "RPL004" in rules_of(check_source(code, path=DATA))
+
+    def test_fires_on_legacy_import(self):
+        code = "from numpy.random import randint\n"
+        assert "RPL004" in rules_of(check_source(code, path=DATA))
+
+    def test_silent_on_default_rng(self):
+        code = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(42)\n"
+            "x = rng.uniform(0, 1)\n"
+        )
+        assert check_source(code, path=DATA) == []
+
+    def test_silent_on_generator_methods(self):
+        # rng.normal() is a Generator method, not np.random.normal().
+        code = "def f(rng):\n    return rng.normal(0.0, 1.0)\n"
+        assert check_source(code, path=DATA) == []
+
+    def test_pragma_suppresses(self):
+        code = (
+            "import numpy as np\n"
+            "# reprolint: allow-legacy-random\n"
+            "np.random.seed(0)\n"
+        )
+        assert check_source(code, path=DATA) == []
+
+
+class TestRPL005MutableDefaults:
+    def test_fires_on_list_default(self):
+        code = "def f(xs=[]):\n    return xs\n"
+        assert "RPL005" in rules_of(check_source(code, path=DATA))
+
+    def test_fires_on_dict_default(self):
+        code = "def f(opts={}):\n    return opts\n"
+        assert "RPL005" in rules_of(check_source(code, path=CORE))
+
+    def test_fires_on_constructor_call_default(self):
+        code = "def f(xs=list()):\n    return xs\n"
+        assert "RPL005" in rules_of(check_source(code, path=DATA))
+
+    def test_fires_on_kwonly_default(self):
+        code = "def f(*, xs=[]):\n    return xs\n"
+        assert "RPL005" in rules_of(check_source(code, path=DATA))
+
+    def test_silent_on_none_default(self):
+        code = "def f(xs=None):\n    return xs or []\n"
+        assert check_source(code, path=DATA) == []
+
+    def test_silent_on_immutable_defaults(self):
+        code = "def f(a=0, b=(), c='x', d=frozenset()):\n    return a\n"
+        findings = [f for f in check_source(code, path=DATA) if f.rule == "RPL005"]
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        code = "def f(xs=[]):  # reprolint: allow-mutable-default\n    return xs\n"
+        assert check_source(code, path=DATA) == []
+
+
+class TestEngine:
+    def test_syntax_error_reported_as_rpl000(self):
+        findings = check_source("def f(:\n", path=DATA)
+        assert rules_of(findings) == ["RPL000"]
+
+    def test_select_filters_rules(self):
+        code = "import numpy as np\ndef f(xs=[]):\n    np.random.seed(0)\n"
+        findings = check_source(code, path=DATA, select=["RPL005"])
+        assert rules_of(findings) == ["RPL005"]
+
+    def test_findings_sorted_and_located(self):
+        code = "def f(lon, xs=[]):\n    return lon * 2\n"
+        findings = check_source(code, path=DATA)
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+        assert all(f.path == DATA for f in findings)
+
+    def test_finding_to_dict_roundtrips_through_json(self):
+        findings = check_source("def f(xs=[]):\n    return xs\n", path=DATA)
+        payload = json.loads(json.dumps([f.to_dict() for f in findings]))
+        assert payload[0]["rule"] == "RPL005"
+        assert payload[0]["line"] == 1
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("def f(x):\n    return x + 1\n")
+        assert reprolint_main([str(target)]) == 0
+
+    def test_violations_exit_one_and_print(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("def f(xs=[]):\n    return xs\n")
+        assert reprolint_main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "RPL005" in out and "bad.py" in out
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("def f(xs=[]):\n    return xs\n")
+        assert reprolint_main([str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "RPL005"
+
+    def test_unknown_rule_select_is_usage_error(self, capsys):
+        assert reprolint_main(["--select", "RPL999"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert reprolint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+            assert rule in out
+
+    def test_module_invocation_from_repo_root(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "--list-rules"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "RPL001" in proc.stdout
+
+
+class TestRepositoryIsClean:
+    def test_src_tree_passes_all_rules(self):
+        findings = check_paths([str(REPO_ROOT / "src")])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_linter_lints_itself(self):
+        findings = check_paths([str(REPO_ROOT / "tools")])
+        assert findings == [], "\n".join(str(f) for f in findings)

@@ -86,6 +86,48 @@ class TestValidation:
         assert report.extent_km > 0
 
 
+class TestNonFiniteCoordinates:
+    """NaN/inf coordinates compare False against every bound, so the
+    coordinate check must reject them explicitly rather than rely on the
+    WGS-84 range test."""
+
+    def test_nan_longitude_is_error(self):
+        bad = [POI(0, float("nan"), 31.23, "Restaurant", "Cafe")]
+        report = validate_dataset(bad + poi_grid(10), trajs(2))
+        assert not report.ok
+        assert any(i.code == "bad-coordinates" for i in report.errors())
+
+    def test_nan_latitude_is_error(self):
+        bad = [POI(0, 121.47, float("nan"), "Restaurant", "Cafe")]
+        report = validate_dataset(bad + poi_grid(10), trajs(2))
+        assert any(i.code == "bad-coordinates" for i in report.errors())
+
+    def test_infinite_coordinate_is_error(self):
+        bad = [POI(0, float("inf"), 31.23, "Restaurant", "Cafe")]
+        report = validate_dataset(bad + poi_grid(10), trajs(2))
+        assert any(i.code == "bad-coordinates" for i in report.errors())
+
+    def test_nan_stay_point_is_error(self):
+        bad = [SemanticTrajectory(0, [
+            StayPoint(float("nan"), 31.23, 0.0),
+            StayPoint(121.47, 31.23, 60.0),
+        ])]
+        report = validate_dataset(poi_grid(10), trajs(2) + bad)
+        assert any(i.code == "bad-coordinates" for i in report.errors())
+
+    def test_bad_coordinates_short_circuit_extent(self):
+        # The projection is never built over poisoned data, so the
+        # extent stays at its default instead of going NaN.
+        bad = [POI(0, float("nan"), 31.23, "Restaurant", "Cafe")]
+        report = validate_dataset(bad + poi_grid(10), trajs(2))
+        assert report.extent_km == 0.0
+
+    def test_out_of_range_latitude_is_error(self):
+        bad = [POI(0, 121.47, 95.0, "Restaurant", "Cafe")]
+        report = validate_dataset(bad + poi_grid(10), trajs(2))
+        assert any(i.code == "bad-coordinates" for i in report.errors())
+
+
 class TestNearestQuery:
     def test_nearest_single(self):
         import numpy as np

@@ -1,0 +1,1 @@
+"""Development tooling for the repro repository (not shipped with the package)."""

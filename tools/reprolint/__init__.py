@@ -1,0 +1,48 @@
+"""reprolint — domain-invariant static analysis for the repro codebase.
+
+A deliberately small, stdlib-only (``ast``) linter that machine-checks
+the invariants the CSR kernel rewrite (PR 1) rests on and that generic
+linters cannot know about:
+
+========  ==============================================================
+RPL001    No raw lon/lat arithmetic or haversine math outside
+          ``repro.geo`` — distance and projection must route through
+          ``repro.geo.distance`` / ``repro.geo.projection``.
+RPL002    No Python ``for``-statement iteration (other than ``range``
+          chunking) in the hot kernel modules — vectorise, or mark a
+          reference oracle with ``# reprolint: allow-loop``.
+RPL003    No iteration over ``set`` expressions or ``dict.values()``
+          feeding order-sensitive float accumulation in ``repro.core``
+          — determinism of the scalar/batched equivalence depends on
+          accumulation order (``math.fsum`` and ``sorted(...)`` are
+          exempt because they are order-independent).
+RPL004    No legacy ``np.random.*`` API — randomness must flow through
+          an explicit ``np.random.default_rng(seed)`` generator.
+RPL005    No mutable default arguments.
+========  ==============================================================
+
+Suppression: put ``# reprolint: allow-<name>`` on the flagged line or
+the line directly above it (``allow-lonlat``, ``allow-loop``,
+``allow-unordered``, ``allow-legacy-random``, ``allow-mutable-default``).
+
+Run ``python -m tools.reprolint src/`` from the repository root; see
+``docs/STATIC_ANALYSIS.md`` for the full rationale of each rule.
+"""
+
+from tools.reprolint.rules import (
+    ALL_RULES,
+    Finding,
+    check_file,
+    check_paths,
+    check_source,
+    iter_python_files,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+]

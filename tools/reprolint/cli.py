@@ -1,0 +1,76 @@
+"""Command-line entry point: ``python -m tools.reprolint [paths...]``.
+
+Exit status: 0 when clean, 1 when findings exist, 2 on usage errors.
+``--format json`` emits a machine-readable report (one JSON document,
+``{"findings": [...], "count": N}``) for CI annotation tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from tools.reprolint.rules import ALL_RULES, check_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Domain-invariant static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to enable, e.g. RPL002,RPL003 "
+        "(default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule, (pragma, description) in sorted(ALL_RULES.items()):
+            print(f"{rule}  (# reprolint: {pragma})  {description}")
+        return 0
+    select: Optional[List[str]] = None
+    if args.select is not None:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+        unknown = [r for r in select if r not in ALL_RULES]
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    findings = check_paths(args.paths, select=select)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {"findings": [f.to_dict() for f in findings], "count": len(findings)},
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding)
+        if findings:
+            print(f"\n{len(findings)} finding(s)")
+    return 1 if findings else 0
