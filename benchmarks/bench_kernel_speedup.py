@@ -30,6 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core.popularity import compute_popularity
 from repro.core.recognition import CSDRecognizer
 from repro.data.trajectory import NO_SEMANTICS
@@ -114,6 +115,11 @@ def main(argv=None):
         default=Path(__file__).resolve().parents[1] / "BENCH_kernel.json",
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--metrics-json", type=Path, default=None,
+        help="also write the repro.obs metrics snapshot to this path "
+        "(stage-level attribution; docs/OBSERVABILITY.md)",
+    )
     args = parser.parse_args(argv)
 
     if args.fast:
@@ -170,6 +176,24 @@ def main(argv=None):
         f"identical={mp_flat == rec_batch})"
     )
 
+    # Observability: t_rec_batch above ran with the registry disabled
+    # (the default), so it already includes the no-op instrumentation
+    # cost; re-time with metrics enabled to bound the *enabled* cost
+    # and collect the stage-level attribution snapshot.
+    registry = obs.get_registry()
+    registry.reset()
+    obs.enable()
+    rec_obs, t_rec_enabled = timed(recognizer.recognize_points, stays)
+    metrics = obs.report()
+    obs.disable()
+    enabled_overhead = t_rec_enabled / t_rec_batch - 1.0
+    print(
+        f"observability: recognition disabled {t_rec_batch:.3f}s  "
+        f"enabled {t_rec_enabled:.3f}s  "
+        f"enabled_overhead {enabled_overhead * 100:+.1f}%  "
+        f"identical={rec_obs == rec_batch}"
+    )
+
     report = {
         "mode": "fast" if args.fast else "full",
         "workload": {
@@ -192,10 +216,22 @@ def main(argv=None):
             "identical": bool(rec_equal and mp_flat == rec_batch),
         },
         "csd_build_s": round(t_build, 4),
+        "observability": {
+            "recognition_disabled_s": round(t_rec_batch, 4),
+            "recognition_enabled_s": round(t_rec_enabled, 4),
+            "enabled_overhead": round(enabled_overhead, 4),
+            "identical": bool(rec_obs == rec_batch),
+        },
+        "metrics": metrics,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
-    if not (pop_ok and rec_equal):
+    if args.metrics_json is not None:
+        args.metrics_json.write_text(
+            json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote metrics snapshot {args.metrics_json}")
+    if not (pop_ok and rec_equal and rec_obs == rec_batch):
         raise SystemExit("batched results diverged from the loop reference")
     return report
 

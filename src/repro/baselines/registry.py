@@ -22,6 +22,7 @@ from repro.core.extraction import FineGrainedPattern, counterpart_cluster
 from repro.core.recognition import CSDRecognizer
 from repro.data.poi import POI
 from repro.data.trajectory import SemanticTrajectory
+from repro.obs import get_registry
 
 RecognizerName = str  # "CSD" | "ROI"
 ExtractorName = str   # "PM" | "Splitter" | "SDBSCAN"
@@ -95,12 +96,15 @@ def run_approach(
     """
     csd_config = csd_config or CSDConfig()
     mining_config = mining_config or MiningConfig()
-    if recognized is None:
-        recognized = recognize_for(
-            approach.recognizer, pois, trajectories, csd_config, csd
-        )
-    extractor = _EXTRACTORS[approach.extractor]
-    return extractor(recognized, mining_config)
+    reg = get_registry()
+    with reg.span("pipeline"):
+        if recognized is None:
+            recognized = recognize_for(
+                approach.recognizer, pois, trajectories, csd_config, csd
+            )
+        extractor = _EXTRACTORS[approach.extractor]
+        with reg.span("extraction"):
+            return extractor(recognized, mining_config)
 
 
 def recognize_for(
@@ -112,11 +116,17 @@ def recognize_for(
 ) -> List[SemanticTrajectory]:
     """Recognition half of an approach, reusable across extractors."""
     csd_config = csd_config or CSDConfig()
+    reg = get_registry()
     if recognizer == "CSD":
         if csd is None:
-            stays = [sp for st in trajectories for sp in st.stay_points]
-            csd = build_csd(pois, stays, csd_config)
-        return CSDRecognizer(csd, csd_config.r3sigma_m).recognize(trajectories)
+            with reg.span("constructor"):
+                stays = [sp for st in trajectories for sp in st.stay_points]
+                csd = build_csd(pois, stays, csd_config)
+        with reg.span("recognition"):
+            return CSDRecognizer(
+                csd, csd_config.r3sigma_m
+            ).recognize(trajectories)
     if recognizer == "ROI":
-        return ROIRecognizer(pois).recognize(trajectories)
+        with reg.span("recognition"):
+            return ROIRecognizer(pois).recognize(trajectories)
     raise KeyError(f"unknown recognizer {recognizer!r}")

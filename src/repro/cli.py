@@ -24,6 +24,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.baselines.registry import APPROACHES, approach_by_name, run_approach
 from repro.core.config import CSDConfig, MiningConfig
 from repro.core.constructor import build_csd
@@ -205,6 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Pervasive Miner / City Semantic Diagram reproduction",
     )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="enable pipeline observability and write the metrics "
+        "snapshot (docs/OBSERVABILITY.md) to PATH after the command "
+        "finishes; goes before the subcommand, e.g. "
+        "'repro --metrics-json m.json build-csd ...'",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("simulate", help="generate a synthetic workload")
@@ -254,7 +263,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if args.metrics_json:
+        # Per-invocation snapshot: start from a clean registry so the
+        # file reflects exactly this command's work.
+        obs.get_registry().reset()
+        obs.enable()
+    try:
+        code = int(args.func(args))
+    finally:
+        if args.metrics_json:
+            Path(args.metrics_json).write_text(obs.to_json() + "\n")
+            print(f"wrote metrics snapshot -> {args.metrics_json}")
+            obs.disable()
+            obs.get_registry().reset()
+    return code
 
 
 if __name__ == "__main__":

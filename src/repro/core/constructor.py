@@ -27,6 +27,7 @@ from repro.data.poi import POI
 from repro.data.trajectory import StayPoint
 from repro.geo.index import GridIndex
 from repro.geo.projection import LocalProjection
+from repro.obs import get_registry
 from repro.types import Float64Array, MetersArray
 
 
@@ -127,30 +128,52 @@ def build_csd(
     only feeds the popularity model (Eq. 3), not the mining itself.
     """
     config = config or CSDConfig()
+    reg = get_registry()
     projection, poi_xy = project_pois(pois, projection)
     stay_lonlat = np.array(
         [[sp.lon, sp.lat] for sp in stay_points], dtype=float
     ).reshape(-1, 2)
     stay_xy = projection.to_meters_array(stay_lonlat)
-    popularity = compute_popularity(poi_xy, stay_xy, config.r3sigma_m)
+    with reg.timer("constructor.popularity"):
+        popularity = compute_popularity(poi_xy, stay_xy, config.r3sigma_m)
     if config.semantic_level == "major":
         tags = [p.major for p in pois]
     else:
         tags = [p.minor for p in pois]
 
-    coarse, leftovers = popularity_based_clustering(
-        poi_xy, tags, popularity, config
-    )
-    pure = purify(coarse, poi_xy, tags, config.v_min_m2, config.r3sigma_m)
-    final = merge_units(
-        pure,
-        leftovers,
-        poi_xy,
-        tags,
-        popularity,
-        config.merge_cos,
-        config.merge_radius_m,
-    )
+    with reg.timer("constructor.clustering"):
+        coarse, leftovers = popularity_based_clustering(
+            poi_xy, tags, popularity, config
+        )
+    with reg.timer("constructor.purification"):
+        pure = purify(
+            coarse, poi_xy, tags, config.v_min_m2, config.r3sigma_m
+        )
+    with reg.timer("constructor.merging"):
+        final = merge_units(
+            pure,
+            leftovers,
+            poi_xy,
+            tags,
+            popularity,
+            config.merge_cos,
+            config.merge_radius_m,
+        )
+    if reg.enabled:
+        reg.counter("constructor.pois.total").inc(len(pois))
+        reg.counter("constructor.units.coarse").inc(len(coarse))
+        reg.counter("constructor.units.pure").inc(len(pure))
+        reg.counter("constructor.units.final").inc(len(final))
+        reg.counter("constructor.pois.clustered").inc(
+            sum(len(c) for c in coarse)
+        )
+        reg.counter("constructor.pois.leftover").inc(len(leftovers))
+        reg.counter("constructor.pois.purified").inc(
+            sum(len(u) for u in pure)
+        )
+        reg.counter("constructor.pois.merged").inc(
+            sum(len(u) for u in final)
+        )
 
     unit_of = np.full(len(pois), UNASSIGNED, dtype=np.int64)
     units: List[SemanticUnit] = []

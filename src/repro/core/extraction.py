@@ -31,6 +31,7 @@ from repro.data.trajectory import (
 from repro.geo.projection import LocalProjection
 from repro.geo.stats import spatial_density
 from repro.mining.prefixspan import FrequentSequence, prefixspan
+from repro.obs import get_registry
 from repro.types import MetersArray
 
 
@@ -65,19 +66,26 @@ def counterpart_cluster(
 ) -> List[FineGrainedPattern]:
     """Algorithm 4 end to end over a recognised trajectory database."""
     config = config or MiningConfig()
+    reg = get_registry()
     if projection is None:
         projection = _projection_for(database)
-    coarse = prefixspan(
-        [as_tag_sequence(st) for st in database],
-        min_support=config.support,
-        min_length=config.min_length,
-        max_length=config.max_length,
-    )
-    out: List[FineGrainedPattern] = []
-    for pattern in coarse:
-        out.extend(
-            _refine_coarse_pattern(pattern, database, config, projection)
+    with reg.timer("extraction.prefixspan"):
+        coarse = prefixspan(
+            [as_tag_sequence(st) for st in database],
+            min_support=config.support,
+            min_length=config.min_length,
+            max_length=config.max_length,
         )
+    out: List[FineGrainedPattern] = []
+    with reg.timer("extraction.refinement"):
+        for pattern in coarse:
+            out.extend(
+                _refine_coarse_pattern(pattern, database, config, projection)
+            )
+    if reg.enabled:
+        reg.counter("extraction.sequences.mined").inc(len(database))
+        reg.counter("extraction.patterns.coarse").inc(len(coarse))
+        reg.counter("extraction.patterns.emitted").inc(len(out))
     return out
 
 
@@ -133,6 +141,7 @@ def _refine_coarse_pattern(
 ) -> List[FineGrainedPattern]:
     """The per-pattern body of Algorithm 4 (lines 4-20)."""
     m = len(coarse.items)
+    reg = get_registry()
     # Re-match every supporter under the temporal constraint; supporters
     # with no time-feasible occurrence drop out of the coarse pattern.
     occurrences = []
@@ -143,7 +152,13 @@ def _refine_coarse_pattern(
         if matched is not None:
             occurrences.append((seq_idx, matched))
     n_occ = len(occurrences)
+    if reg.enabled:
+        reg.counter("extraction.supporters.dropped_temporal").inc(
+            len(coarse.occurrences) - n_occ
+        )
     if n_occ < config.support:
+        if reg.enabled:
+            reg.counter("extraction.patterns.pruned").inc(1)
         return []
 
     # Matched stay points and their metre coordinates, per position k.

@@ -19,6 +19,7 @@ fresh :class:`CitySemanticDiagram` view after each batch.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +28,11 @@ import numpy as np
 from repro.core.csd import UNASSIGNED, CitySemanticDiagram, SemanticUnit
 from repro.core.merging import cosine_similarity, unit_distribution
 from repro.data.poi import POI
+from repro.obs import get_registry
+
+#: Floor weight matching :func:`repro.core.merging.unit_distribution`,
+#: so a never-visited POI still contributes a defined tag weight.
+_WEIGHT_FLOOR = 1e-12
 
 
 class IncrementalCSD:
@@ -64,6 +70,13 @@ class IncrementalCSD:
         ]
         self._n_added = 0
         self._n_pending = 0
+        # Incremental caches: the tag list grows with each insertion
+        # instead of being rebuilt from all POIs per add (the seed code
+        # made add_pois quadratic in diagram size), and each unit's raw
+        # popularity-weighted tag sums are computed at most once, then
+        # updated in O(1) when a POI joins the unit.
+        self._tags: List[str] = [self._tag(p) for p in self._pois]
+        self._unit_weights: Dict[int, Dict[str, float]] = {}
         # Mutable spatial buckets (GridIndex is immutable by design).
         self._cell = max(merge_radius_m, 1.0)
         self._buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
@@ -99,11 +112,12 @@ class IncrementalCSD:
         x, y = self.base.projection.to_meters(poi.lon, poi.lat)
         new_index = len(self._pois)
         self._pois.append(poi)
+        self._tags.append(self._tag(poi))
         self._xy = np.vstack([self._xy, [[x, y]]])
         self._popularity = np.append(self._popularity, popularity)
         self._n_added += 1
 
-        unit_id = self._find_compatible_unit(x, y, self._tag(poi))
+        unit_id = self._find_compatible_unit(x, y, self._tags[new_index])
         self._buckets[self._key(x, y)].append(new_index)
         if unit_id == UNASSIGNED:
             self._unit_of = np.append(self._unit_of, UNASSIGNED)
@@ -111,6 +125,19 @@ class IncrementalCSD:
         else:
             self._unit_of = np.append(self._unit_of, unit_id)
             self._members[unit_id].append(new_index)
+            weights = self._unit_weights.get(unit_id)
+            if weights is not None:
+                # O(1) cache maintenance: fold the new member's weight
+                # in, exactly as a full recomputation would last.
+                tag = self._tags[new_index]
+                weights[tag] = weights.get(tag, 0.0) + (
+                    float(popularity) + _WEIGHT_FLOOR
+                )
+        reg = get_registry()
+        if reg.enabled:
+            reg.gauge("incremental.added").set(float(self._n_added))
+            reg.gauge("incremental.pending").set(float(self._n_pending))
+            reg.gauge("incremental.staleness").set(self.staleness())
         return unit_id
 
     def add_pois(
@@ -135,14 +162,38 @@ class IncrementalCSD:
             d2 = ((self._xy[j] - (x, y)) ** 2).sum()
             if unit_id not in candidates or d2 < candidates[unit_id]:
                 candidates[unit_id] = d2
-        tags = [self._tag(p) for p in self._pois]
         for unit_id in sorted(candidates, key=lambda u: candidates[u]):
-            distribution = unit_distribution(
-                self._members[unit_id], tags, self._popularity
-            )
+            distribution = self._unit_distribution(unit_id)
             if cosine_similarity({tag: 1.0}, distribution) >= self.merge_cos:
                 return unit_id
         return UNASSIGNED
+
+    def _unit_distribution(self, unit_id: int) -> Dict[str, float]:
+        """Normalised tag distribution of one unit, cache-backed.
+
+        The raw per-tag weight sums are computed from the membership
+        list at most once per unit (``incremental.distribution.
+        computations``) and then maintained in O(1) as members join
+        (:meth:`add_poi`), so a batch of inserts touches each unit's
+        full distribution computation O(1) amortised times instead of
+        once per insert.  Weight accumulation follows member order,
+        matching :func:`repro.core.merging.unit_distribution` exactly.
+        """
+        reg = get_registry()
+        weights = self._unit_weights.get(unit_id)
+        if weights is None:
+            weights = {}
+            for i in self._members[unit_id]:
+                t = self._tags[i]
+                weights[t] = weights.get(t, 0.0) + (
+                    float(self._popularity[i]) + _WEIGHT_FLOOR
+                )
+            self._unit_weights[unit_id] = weights
+            reg.counter("incremental.distribution.computations").inc(1)
+        else:
+            reg.counter("incremental.distribution.cache_hits").inc(1)
+        total = math.fsum(weights.values())
+        return {t: w / total for t, w in weights.items()}
 
     # -- views --------------------------------------------------------------
 
@@ -166,7 +217,7 @@ class IncrementalCSD:
 
     def diagram(self) -> CitySemanticDiagram:
         """Materialise the updated diagram (units rebuilt from members)."""
-        tags = [self._tag(p) for p in self._pois]
+        tags = self._tags
         units = []
         for unit_id, members in enumerate(self._members):
             xy = self._xy[members]

@@ -25,6 +25,7 @@ from repro.data.trajectory import (
     StayPoint,
     validate_database,
 )
+from repro.obs import get_registry
 
 
 @dataclass
@@ -96,10 +97,15 @@ class PervasiveMiner:
         pre-built ``csd`` to reuse an expensive diagram across parameter
         sweeps.
         """
+        reg = get_registry()
         validate_database(trajectories)
         stay_points = [sp for st in trajectories for sp in st.stay_points]
-        if csd is None:
-            csd = self.build_diagram(pois, stay_points)
-        recognized = self.recognize(csd, trajectories)
-        patterns = self.extract(csd, recognized)
+        with reg.span("pipeline"):
+            if csd is None:
+                with reg.span("constructor"):
+                    csd = self.build_diagram(pois, stay_points)
+            with reg.span("recognition"):
+                recognized = self.recognize(csd, trajectories)
+            with reg.span("extraction"):
+                patterns = self.extract(csd, recognized)
         return MiningResult(csd, recognized, patterns)

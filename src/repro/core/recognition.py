@@ -30,6 +30,7 @@ from repro.data.trajectory import (
     StayPoint,
 )
 from repro.geo.distance import gaussian_coefficients
+from repro.obs import DEFAULT_SIZE_BUCKETS, get_registry
 
 #: Below this corpus size the fork/pickle overhead of worker processes
 #: outweighs the recognition work itself; ``n_jobs`` is ignored.
@@ -80,7 +81,37 @@ class CSDRecognizer:
         ``(stay, unit)`` pair with ``np.bincount`` (sequential in hit
         order, so totals match a per-point left-to-right sum bit for
         bit), and breaks vote ties on the smaller unit id.
+
+        Each call counts as one batch in the ``recognition.*`` metrics
+        (``docs/OBSERVABILITY.md``); recognised/unmatched totals, batch
+        sizes, and per-batch latency are recorded when the registry is
+        enabled.
         """
+        reg = get_registry()
+        with reg.timer("recognition.batch") as timing:
+            out = self._recognize_batch(stay_points)
+        if reg.enabled:
+            reg.counter("recognition.batches").inc(1)
+            reg.histogram(
+                "recognition.batch_latency_s"
+            ).observe(timing.elapsed)
+            reg.histogram(
+                "recognition.batch_size", buckets=DEFAULT_SIZE_BUCKETS
+            ).observe(float(len(stay_points)))
+            recognized = sum(
+                1 for prop in out if prop is not NO_SEMANTICS
+            )
+            reg.counter("recognition.stays.recognized").inc(recognized)
+            reg.counter("recognition.stays.unmatched").inc(
+                len(out) - recognized
+            )
+        return out
+
+    def _recognize_batch(
+        self, stay_points: Sequence[StayPoint]
+    ) -> List[SemanticProperty]:
+        """The uninstrumented batched kernel behind
+        :meth:`recognize_points`."""
         n = len(stay_points)
         out: List[SemanticProperty] = [NO_SEMANTICS] * n
         if n == 0:
@@ -106,6 +137,9 @@ class CSDRecognizer:
         scores = self.csd.popularity[hit_idx] * gaussian_coefficients(
             d, self.r3sigma_m
         )
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("recognition.votes.cast").inc(int(len(scores)))
         # Vote totals per (stay, unit) pair without per-point dicts.
         n_units = max(len(self.csd.units), 1)
         pair = stay_of.astype(np.int64) * n_units + unit_ids

@@ -28,7 +28,23 @@ FORMAT_VERSION = 1
 
 
 def save_csd(path: PathLike, csd: CitySemanticDiagram) -> None:
-    """Serialise a diagram to JSON."""
+    """Serialise a diagram to JSON.
+
+    Non-finite values are rejected before anything is written: a
+    NaN/inf popularity would otherwise be emitted as the non-standard
+    JSON tokens ``NaN``/``Infinity`` (Python's default
+    ``allow_nan=True``), which other parsers reject.  Raises
+    ``ValueError`` naming the first offending POI index.
+    """
+    popularity = np.asarray(csd.popularity, dtype=float)
+    bad = np.flatnonzero(~np.isfinite(popularity))
+    if len(bad):
+        index = int(bad[0])
+        raise ValueError(
+            f"popularity of POI index {index} is non-finite "
+            f"({popularity[index]!r}); a CSD with NaN/inf popularity "
+            "cannot be serialised to standard JSON"
+        )
     document = {
         "format_version": FORMAT_VERSION,
         "tag_level": csd.tag_level,
@@ -53,7 +69,10 @@ def save_csd(path: PathLike, csd: CitySemanticDiagram) -> None:
         ],
     }
     with open(path, "w") as f:
-        json.dump(document, f)
+        # allow_nan=False backstops the popularity check above for any
+        # other float field (centroids, distributions): strict JSON or
+        # no file at all.
+        json.dump(document, f, allow_nan=False)
 
 
 def load_csd(path: PathLike) -> CitySemanticDiagram:
@@ -99,7 +118,10 @@ def load_csd(path: PathLike) -> CitySemanticDiagram:
         poi_xy=poi_xy,
         popularity=np.asarray(document["popularity"], dtype=float),
         units=units,
-        unit_of=np.asarray(document["unit_of"], dtype=int),
+        # np.int64 explicitly: dtype=int is platform-dependent (int32
+        # on Windows) and would break the repo-wide int64 index/label
+        # contract (docs/STATIC_ANALYSIS.md).
+        unit_of=np.asarray(document["unit_of"], dtype=np.int64),
         tag_level=document.get("tag_level", "major"),
     )
     _check_consistency(csd)
@@ -108,6 +130,11 @@ def load_csd(path: PathLike) -> CitySemanticDiagram:
 
 def _check_consistency(csd: CitySemanticDiagram) -> None:
     """Fail loudly on corrupt artifacts instead of mis-recognising."""
+    if csd.unit_of.dtype != np.int64:
+        raise ValueError(
+            f"unit_of must be int64 (the repo-wide index/label "
+            f"contract), got {csd.unit_of.dtype}"
+        )
     for unit in csd.units:
         for i in unit.poi_indices:
             if not 0 <= i < csd.n_pois:

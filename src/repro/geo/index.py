@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.types import CSRQuery, IndexArray, MetersArray
 
 #: Cap on candidate window cells (batch path) or pairwise distances
@@ -127,6 +128,17 @@ class GridIndex:
         n = len(self._xy)
         if m == 0 or n == 0:
             return np.empty(0, dtype=np.int64), np.zeros(m + 1, dtype=np.int64)
+        indices, offsets = self._query_many(ctr, radius)
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("geo.index.queries").inc(1)
+            reg.counter("geo.index.centers").inc(m)
+            reg.counter("geo.index.hits").inc(int(len(indices)))
+        return indices, offsets
+
+    def _query_many(self, ctr: MetersArray, radius: float) -> CSRQuery:
+        """Kernel dispatch behind :meth:`query_radius_many`."""
+        m = len(ctr)
         span = int(np.ceil(radius / self._cell))
         window = (2 * span + 1) ** 2
         if window >= self._n_cells:
@@ -171,6 +183,11 @@ class GridIndex:
         ends = np.searchsorted(self._codes, hi, side="left")
         lengths = np.where(col_ok, ends - starts, 0)
         total = int(lengths.sum())
+        reg = get_registry()
+        if reg.enabled:
+            # Distance-filter candidates examined; hits / candidates is
+            # the grid's selectivity for this workload.
+            reg.counter("geo.index.candidates").inc(total)
         if total == 0:
             return np.empty(0, dtype=np.int64), np.zeros(m + 1, dtype=np.int64)
         # Expand every [start, end) slice into flat gather positions.
@@ -205,6 +222,9 @@ class GridIndex:
         m = len(ctr)
         n = len(self._xy)
         r2 = radius * radius
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("geo.index.candidates").inc(m * n)
         chunk = max(1, _CHUNK_BUDGET // n)
         all_idx = []
         all_counts = []

@@ -17,6 +17,8 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Sequence, Tuple
 
+from repro.obs import get_registry
+
 Item = Hashable
 
 
@@ -67,8 +69,16 @@ def prefixspan(
         (i, (), 0) for i in range(len(sequences))
     ]
     out: List[FrequentSequence] = []
-    _grow((), projections, sequences, min_support, min_length, max_length, out)
+    stats = {"pruned": 0, "nodes": 0}
+    _grow((), projections, sequences, min_support, min_length, max_length,
+          out, stats)
     out.sort(key=lambda fs: (-fs.support, len(fs.items), str(fs.items)))
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("prefixspan.sequences.mined").inc(len(sequences))
+        reg.counter("prefixspan.patterns.emitted").inc(len(out))
+        reg.counter("prefixspan.candidates.pruned").inc(stats["pruned"])
+        reg.counter("prefixspan.nodes.expanded").inc(stats["nodes"])
     return out
 
 
@@ -80,9 +90,11 @@ def _grow(
     min_length: int,
     max_length: int,
     out: List[FrequentSequence],
+    stats: Dict[str, int],
 ) -> None:
     if len(prefix) >= max_length:
         return
+    stats["nodes"] += 1
     # Local frequent items: first (leftmost) occurrence per sequence.
     first_hit: Dict[Item, List[Tuple[int, Tuple[int, ...], int]]] = defaultdict(list)
     for seq_idx, positions, start in projections:
@@ -97,6 +109,7 @@ def _grow(
 
     for item, extended in sorted(first_hit.items(), key=lambda kv: str(kv[0])):
         if len(extended) < min_support:
+            stats["pruned"] += 1
             continue
         new_prefix = prefix + (item,)
         if len(new_prefix) >= min_length:
@@ -110,4 +123,4 @@ def _grow(
                 )
             )
         _grow(new_prefix, extended, sequences, min_support, min_length,
-              max_length, out)
+              max_length, out, stats)

@@ -1,0 +1,93 @@
+"""repro.obs — zero-dependency pipeline observability.
+
+The package-level API is a process-local default
+:class:`~repro.obs.metrics.MetricsRegistry` plus convenience wrappers,
+so instrumentation sites can write::
+
+    from repro.obs import get_registry
+
+    reg = get_registry()
+    with reg.timer("constructor.clustering"):
+        ...
+    reg.counter("constructor.units.coarse").inc(len(coarse))
+
+and callers can flip collection on around a pipeline run::
+
+    from repro import obs
+
+    obs.enable()
+    miner.mine(pois, trajectories)
+    print(obs.to_json())          # or obs.report() for the dict
+
+The default registry ships **disabled**; a disabled registry is a
+no-op (measured <2% overhead on the standard 12k-POI kernel workload —
+see ``docs/OBSERVABILITY.md`` for the metric catalogue, the snapshot
+schema, and the overhead methodology).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Timer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Timer",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "DEFAULT_SIZE_BUCKETS",
+    "disable",
+    "enable",
+    "get_registry",
+    "report",
+    "set_registry",
+    "to_json",
+]
+
+_registry = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-local default registry all pipeline stages use."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests / embedders); returns the old one."""
+    global _registry
+    old = _registry
+    _registry = registry
+    return old
+
+
+def enable() -> None:
+    """Start collecting metrics on the default registry."""
+    _registry.enable()
+
+
+def disable() -> None:
+    """Stop collecting; already-recorded values remain readable."""
+    _registry.disable()
+
+
+def report() -> Dict[str, object]:
+    """JSON-serialisable snapshot of the default registry."""
+    return _registry.snapshot()
+
+
+def to_json(indent: Optional[int] = 2) -> str:
+    """The default registry's snapshot as a JSON string."""
+    return _registry.to_json(indent=indent)

@@ -93,6 +93,43 @@ class TestMine:
         assert "unknown approach" in capsys.readouterr().err
 
 
+class TestMetricsJson:
+    def test_mine_writes_metrics_snapshot(self, data_dir, tmp_path, capsys):
+        from repro import obs
+
+        snapshot_path = tmp_path / "metrics.json"
+        rc = main([
+            "--metrics-json", str(snapshot_path),
+            "mine", "--pois", str(data_dir / "pois.csv"),
+            "--trips", str(data_dir / "trips.csv"),
+            "--support", "8",
+        ])
+        assert rc == 0
+        assert "metrics snapshot" in capsys.readouterr().out
+        snapshot = json.loads(snapshot_path.read_text())
+        assert snapshot["enabled"] is True
+        for stage in (
+            "pipeline.constructor",
+            "pipeline.recognition",
+            "pipeline.extraction",
+        ):
+            assert stage in snapshot["timers"]
+        assert snapshot["counters"]["constructor.pois.total"] > 0
+        # The flag is per-invocation: the registry is off again.
+        assert not obs.get_registry().enabled
+
+    def test_registry_stays_disabled_without_flag(self, data_dir):
+        from repro import obs
+
+        rc = main([
+            "build-csd", "--pois", str(data_dir / "pois.csv"),
+            "--trips", str(data_dir / "trips.csv"),
+        ])
+        assert rc == 0
+        assert not obs.get_registry().enabled
+        assert obs.report()["counters"] == {}
+
+
 class TestCheckins:
     def test_prints_both_cities(self, capsys):
         rc = main(["checkins", "--activities", "20000", "--top", "5"])

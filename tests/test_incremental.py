@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import obs
 from repro.core.config import CSDConfig
 from repro.core.constructor import build_csd
 from repro.core.csd import UNASSIGNED
@@ -80,6 +81,50 @@ class TestOnlineInsertion:
             IncrementalCSD(base_csd, merge_radius_m=0.0)
         with pytest.raises(ValueError):
             IncrementalCSD(base_csd, merge_cos=1.5)
+
+
+class TestDistributionCaching:
+    def test_cached_distribution_matches_full_recompute(self, base_csd):
+        """The O(1)-maintained distribution must equal the offline one
+        bit for bit (same accumulation order, same weight floor)."""
+        from repro.core.merging import unit_distribution
+
+        updater = IncrementalCSD(base_csd)
+        uid = updater.add_poi(
+            POI(100, 121.47002, 31.23, "Restaurant", "Bakery"), 2.5
+        )
+        assert uid != UNASSIGNED
+        cached = updater._unit_distribution(uid)
+        fresh = unit_distribution(
+            updater._members[uid], updater._tags, updater._popularity
+        )
+        assert cached == fresh
+
+    def test_bulk_add_is_amortised_constant(self, base_csd):
+        """Regression for the seed's quadratic ``add_pois``: inserting
+        1k POIs must compute each unit's distribution from scratch at
+        most once — every later lookup is an O(1) cache hit."""
+        pois = [
+            POI(1000 + i, 121.4700 + (i % 40) * 2e-6, 31.23,
+                "Restaurant", "Cafe")
+            for i in range(1_000)
+        ]
+        reg = obs.MetricsRegistry(enabled=True)
+        old = obs.set_registry(reg)
+        try:
+            updater = IncrementalCSD(base_csd)
+            ids = updater.add_pois(pois)
+            counters = reg.snapshot()["counters"]
+        finally:
+            obs.set_registry(old)
+        assert all(uid != UNASSIGNED for uid in ids)
+        computations = counters.get("incremental.distribution.computations", 0)
+        lookups = computations + counters.get(
+            "incremental.distribution.cache_hits", 0
+        )
+        assert lookups >= len(pois)
+        # Amortised O(1): bounded by the number of units, not inserts.
+        assert computations <= len(base_csd.units)
 
 
 class TestStalenessAndViews:

@@ -1,12 +1,16 @@
 """Round-trip tests for CSD persistence."""
 
+import copy
 import json
 
 import numpy as np
 import pytest
 
+from repro.core.csd import UNASSIGNED
+from repro.core.incremental import IncrementalCSD
 from repro.core.recognition import CSDRecognizer
-from repro.data.persistence import load_csd, save_csd
+from repro.data.persistence import _check_consistency, load_csd, save_csd
+from repro.data.poi import POI
 
 
 class TestRoundTrip:
@@ -45,6 +49,65 @@ class TestRoundTrip:
             for sp in st.stay_points:
                 assert original.recognize_point(sp) == \
                     reloaded.recognize_point(sp)
+
+
+class TestDtypeContract:
+    def test_round_trip_pins_int64_unit_of(self, small_csd, tmp_path):
+        """JSON carries no dtype; the loader must restore int64 even on
+        platforms where ``dtype=int`` means int32 (Windows)."""
+        path = tmp_path / "csd.json"
+        save_csd(path, small_csd)
+        loaded = load_csd(path)
+        assert loaded.unit_of.dtype == np.int64
+
+    def test_consistency_check_rejects_narrow_dtype(self, small_csd, tmp_path):
+        path = tmp_path / "csd.json"
+        save_csd(path, small_csd)
+        loaded = load_csd(path)
+        loaded.unit_of = loaded.unit_of.astype(np.int32)
+        with pytest.raises(ValueError, match="int64"):
+            _check_consistency(loaded)
+
+
+class TestNonFinitePopularity:
+    @pytest.mark.parametrize("value", [float("nan"), float("inf")])
+    def test_rejected_with_poi_index(self, small_csd, tmp_path, value):
+        corrupted = copy.copy(small_csd)
+        corrupted.popularity = small_csd.popularity.copy()
+        corrupted.popularity[3] = value
+        path = tmp_path / "csd.json"
+        with pytest.raises(ValueError, match="POI index 3"):
+            save_csd(path, corrupted)
+        assert not path.exists(), "no partial file on rejection"
+
+    def test_first_offender_named(self, small_csd, tmp_path):
+        corrupted = copy.copy(small_csd)
+        corrupted.popularity = small_csd.popularity.copy()
+        corrupted.popularity[5] = float("nan")
+        corrupted.popularity[1] = float("-inf")
+        with pytest.raises(ValueError, match="POI index 1"):
+            save_csd(tmp_path / "csd.json", corrupted)
+
+
+class TestPendingPois:
+    def test_round_trip_with_unassigned_pois(self, small_csd, tmp_path):
+        """A diagram holding UNASSIGNED (pending) POIs from the
+        incremental updater must survive save/load unchanged."""
+        updater = IncrementalCSD(small_csd)
+        # Far outside the diagram extent: guaranteed pending.
+        assert updater.add_poi(
+            POI(10**6, 150.0, -30.0, "Industry", "Factory")
+        ) == UNASSIGNED
+        updated = updater.diagram()
+        assert updated.unit_of[-1] == UNASSIGNED
+
+        path = tmp_path / "csd.json"
+        save_csd(path, updated)
+        loaded = load_csd(path)
+        assert loaded.n_pois == updated.n_pois
+        assert loaded.unit_of[-1] == UNASSIGNED
+        assert np.array_equal(loaded.unit_of, updated.unit_of)
+        assert loaded.unit_of.dtype == np.int64
 
 
 class TestCorruptArtifacts:

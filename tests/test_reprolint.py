@@ -221,6 +221,53 @@ class TestRPL005MutableDefaults:
         assert check_source(code, path=DATA) == []
 
 
+class TestRPL006DirectTiming:
+    def test_fires_on_time_time_in_core(self):
+        code = "import time\ndef f():\n    return time.time()\n"
+        assert "RPL006" in rules_of(check_source(code, path=CORE))
+
+    def test_fires_on_perf_counter_in_data(self):
+        code = "import time\ndef f():\n    t0 = time.perf_counter()\n    return t0\n"
+        assert "RPL006" in rules_of(check_source(code, path=DATA))
+
+    def test_fires_on_monotonic_in_geo(self):
+        code = "import time\ndef f():\n    return time.monotonic()\n"
+        assert "RPL006" in rules_of(check_source(code, path=GEO))
+
+    def test_fires_on_timing_import(self):
+        code = "from time import perf_counter\n"
+        assert "RPL006" in rules_of(check_source(code, path=CORE))
+
+    def test_silent_inside_repro_obs(self):
+        code = "import time\ndef f():\n    return time.perf_counter()\n"
+        assert check_source(code, path="src/repro/obs/metrics.py") == []
+
+    def test_silent_outside_repro_package(self):
+        # Benchmarks and tools time their own harness code freely.
+        code = "import time\ndef f():\n    return time.perf_counter()\n"
+        assert check_source(code, path="benchmarks/bench_example.py") == []
+        assert check_source(code, path="tools/example.py") == []
+
+    def test_silent_on_non_timing_time_functions(self):
+        code = "import time\ndef f():\n    time.sleep(0.1)\n"
+        assert check_source(code, path=CORE) == []
+
+    def test_silent_on_unrelated_attribute(self):
+        # Only the time module's clocks are flagged, not same-named
+        # attributes of other objects.
+        code = "def f(stopwatch):\n    return stopwatch.monotonic()\n"
+        assert check_source(code, path=CORE) == []
+
+    def test_pragma_suppresses(self):
+        code = (
+            "import time\n"
+            "def f():\n"
+            "    # reprolint: allow-direct-timing -- bootstrap clock\n"
+            "    return time.time()\n"
+        )
+        assert check_source(code, path=CORE) == []
+
+
 class TestEngine:
     def test_syntax_error_reported_as_rpl000(self):
         findings = check_source("def f(:\n", path=DATA)
@@ -271,7 +318,8 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert reprolint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+        for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
+                     "RPL006"):
             assert rule in out
 
     def test_module_invocation_from_repo_root(self):
@@ -292,4 +340,11 @@ class TestRepositoryIsClean:
 
     def test_linter_lints_itself(self):
         findings = check_paths([str(REPO_ROOT / "tools")])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_all_src_timing_goes_through_obs(self):
+        """RPL006 explicitly: repro.obs owns every clock in src/."""
+        findings = check_paths(
+            [str(REPO_ROOT / "src")], select=["RPL006"]
+        )
         assert findings == [], "\n".join(str(f) for f in findings)

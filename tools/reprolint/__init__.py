@@ -19,11 +19,16 @@ RPL003    No iteration over ``set`` expressions or ``dict.values()``
 RPL004    No legacy ``np.random.*`` API — randomness must flow through
           an explicit ``np.random.default_rng(seed)`` generator.
 RPL005    No mutable default arguments.
+RPL006    No direct ``time.time()``/``time.perf_counter()`` timing in
+          ``src/repro/`` outside ``repro.obs`` — all timing routes
+          through the observability layer's ``Timer``/``Span`` so it
+          lands in the metrics snapshot.
 ========  ==============================================================
 
 Suppression: put ``# reprolint: allow-<name>`` on the flagged line or
 the line directly above it (``allow-lonlat``, ``allow-loop``,
-``allow-unordered``, ``allow-legacy-random``, ``allow-mutable-default``).
+``allow-unordered``, ``allow-legacy-random``, ``allow-mutable-default``,
+``allow-direct-timing``).
 
 Run ``python -m tools.reprolint src/`` from the repository root; see
 ``docs/STATIC_ANALYSIS.md`` for the full rationale of each rule.

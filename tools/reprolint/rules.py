@@ -41,6 +41,11 @@ ALL_RULES: Dict[str, Tuple[str, str]] = {
         "allow-mutable-default",
         "mutable default argument",
     ),
+    "RPL006": (
+        "allow-direct-timing",
+        "direct stdlib timing call in src/repro outside repro.obs "
+        "(route timing through repro.obs Timer/Span)",
+    ),
 }
 
 #: Modules whose per-element Python loops are the exact regressions the
@@ -105,6 +110,27 @@ _ORDER_FREE_CALLS: FrozenSet[str] = frozenset({"fsum", "sorted"})
 
 _MUTABLE_CALLS: FrozenSet[str] = frozenset(
     {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque", "OrderedDict"}
+)
+
+#: ``time``-module clock functions.  Calling any of these directly in
+#: ``src/repro/`` (outside ``repro.obs``, which IS the timing layer)
+#: bypasses the observability registry: the measurement is invisible to
+#: metrics snapshots and, for ``time.time``, not even monotonic.
+_TIMING_FUNCS: FrozenSet[str] = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+    }
 )
 
 
@@ -265,6 +291,9 @@ class _Checker(ast.NodeVisitor):
         self.in_geo = subpackage == "geo"
         self.in_core = subpackage == "core"
         self.in_hot = (subpackage, filename) in HOT_MODULES
+        # RPL006 covers the whole repro package except repro.obs, the
+        # sanctioned timing layer itself.
+        self.timing_scoped = subpackage is not None and subpackage != "obs"
 
     # -- bookkeeping ---------------------------------------------------
 
@@ -337,6 +366,19 @@ class _Checker(ast.NodeVisitor):
             self._check_unordered_reduction(node)
         # RPL004: legacy numpy random API.
         self._check_legacy_random(node.func, dotted)
+        # RPL006: direct timing calls bypass the observability layer.
+        if (
+            self.timing_scoped
+            and name in _TIMING_FUNCS
+            and dotted.split(".")[:-1] == ["time"]
+        ):
+            self._report(
+                node,
+                "RPL006",
+                f"direct time.{name}() in src/repro bypasses the "
+                "observability layer; use a repro.obs Timer/Span so the "
+                "measurement lands in the metrics snapshot",
+            )
         self.generic_visit(node)
 
     # -- RPL002: no interpreter loops in hot kernels -------------------
@@ -414,6 +456,16 @@ class _Checker(ast.NodeVisitor):
                         "RPL004",
                         f"importing legacy numpy.random.{alias.name}; use "
                         "np.random.default_rng(seed)",
+                    )
+        if self.timing_scoped and node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIMING_FUNCS:
+                    self._report(
+                        node,
+                        "RPL006",
+                        f"importing time.{alias.name} in src/repro "
+                        "bypasses the observability layer; use a "
+                        "repro.obs Timer/Span",
                     )
         self.generic_visit(node)
 
