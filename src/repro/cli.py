@@ -8,6 +8,9 @@ Subcommands cover the release workflow end to end:
   files and export it as GeoJSON;
 - ``repro mine``      — run one of the six approaches and export the
   fine-grained patterns (GeoJSON + summary CSV);
+- ``repro run``       — the fault-tolerant pipeline: quarantined
+  ingestion, stage checkpoints in a run directory, crash/resume
+  (``docs/RUNNER.md``);
 - ``repro evaluate``  — run all six approaches and print the Section 5
   metric table;
 - ``repro checkins``  — regenerate the Table 1 semantic-bias study.
@@ -36,8 +39,15 @@ from repro.data.geojson import (
     patterns_to_geojson,
     write_geojson,
 )
-from repro.data.io import read_pois, read_trips, write_pois, write_trips
+from repro.data.io import (
+    iter_trips,
+    read_pois,
+    read_trips,
+    write_pois,
+    write_trips,
+)
 from repro.data.persistence import load_csd, save_csd
+from repro.runner import PipelineRunner, Quarantine
 from repro.viz.svg import render_csd_svg, render_patterns_svg, save_svg
 from repro.data.poi import POIGenerator
 from repro.data.taxi import (
@@ -146,7 +156,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
         save_svg(args.svg, render_patterns_svg(patterns, projection))
         print(f"wrote pattern map -> {args.svg}")
     if args.csv:
-        with open(args.csv, "w", newline="") as f:
+        with open(args.csv, "w", newline="", encoding="utf-8") as f:
             writer = csv.writer(f)
             writer.writerow(
                 ["route", "support", "length", "bucket",
@@ -159,6 +169,51 @@ def cmd_mine(args: argparse.Namespace) -> int:
                     r.end_lonlat[0], r.end_lonlat[1], r.span_m,
                 ])
         print(f"wrote summary -> {args.csv}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: the fault-tolerant, resumable CSD-PM pipeline.
+
+    Malformed trip rows are quarantined instead of aborting the run;
+    stage checkpoints land in ``--run-dir`` and ``--resume`` skips any
+    stage whose checkpoint matches the manifest (``docs/RUNNER.md``).
+    """
+    run_dir = Path(args.run_dir)
+    quarantine_path = Path(
+        args.quarantine if args.quarantine else run_dir / "quarantine.csv"
+    )
+    pois = read_pois(args.pois)
+    with Quarantine(quarantine_path) as quarantine:
+        trips = list(
+            iter_trips(args.trips, on_bad_row=quarantine.sink("trips"))
+        )
+        trajectories = _trips_to_trajectories(trips)
+        runner = PipelineRunner(
+            run_dir,
+            CSDConfig(alpha=args.alpha),
+            _mining_config(args),
+            resume=args.resume,
+            chunk_size=args.chunk_size,
+        )
+        result = runner.run(pois, trajectories)
+    print(f"CSD-PM: {result.n_patterns} patterns, "
+          f"coverage {result.coverage} "
+          f"({len(trips)} trips ingested, "
+          f"{quarantine.count} rows quarantined)")
+    if quarantine.count:
+        print(f"quarantined rows -> {quarantine_path}")
+    lonlat = [(p.lon, p.lat) for p in pois]
+    projection = LocalProjection.for_points(lonlat)
+    rows = summarize(result.patterns, projection)
+    print(format_table(
+        ["route", "support", "len", "bucket", "span_m"],
+        [(r.route, r.support, r.length, r.bucket, round(r.span_m))
+         for r in rows[:20]],
+    ))
+    if args.geojson:
+        write_geojson(args.geojson, patterns_to_geojson(result.patterns))
+        print(f"wrote patterns -> {args.geojson}")
     return 0
 
 
@@ -244,6 +299,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", help="write a pattern summary table here")
     p.add_argument("--load-csd", help="reuse a diagram saved by build-csd")
     p.set_defaults(func=cmd_mine)
+
+    p = sub.add_parser(
+        "run", help="fault-tolerant checkpointed pipeline (docs/RUNNER.md)"
+    )
+    p.add_argument("--pois", required=True)
+    p.add_argument("--trips", required=True)
+    p.add_argument("--run-dir", required=True,
+                   help="checkpoint directory (manifest + stage artifacts)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip stages whose checkpoints match the manifest")
+    p.add_argument("--quarantine",
+                   help="malformed-row CSV (default: RUN_DIR/quarantine.csv)")
+    p.add_argument("--chunk-size", type=int, default=8192,
+                   help="stay points per recognition batch (bounds memory)")
+    _add_mining_args(p)
+    p.add_argument("--geojson", help="write pattern lines here")
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("evaluate", help="run all six approaches")
     p.add_argument("--pois", required=True)

@@ -99,9 +99,14 @@ class PervasiveMiner:
         """
         reg = get_registry()
         validate_database(trajectories)
-        stay_points = [sp for st in trajectories for sp in st.stay_points]
         with reg.span("pipeline"):
             if csd is None:
+                # Materialised only when the constructor actually runs:
+                # parameter sweeps that reuse a pre-built diagram skip
+                # the full corpus flattening entirely.
+                stay_points = [
+                    sp for st in trajectories for sp in st.stay_points
+                ]
                 with reg.span("constructor"):
                     csd = self.build_diagram(pois, stay_points)
             with reg.span("recognition"):

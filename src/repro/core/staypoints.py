@@ -29,10 +29,24 @@ def detect_stay_points(
     sub-trajectory must lie within ``theta_d`` of the sub-trajectory's
     first point (condition ii), and the window must span ``theta_t``
     seconds (condition i).  Windows are extended greedily and maximal.
+
+    Raises ``ValueError`` when timestamps decrease along the
+    trajectory: a backwards clock would make dwell durations negative,
+    so windows could never satisfy ``theta_t`` and the track would be
+    silently skipped instead of flagged as corrupt.  Duplicate
+    timestamps are legal (two fixes in the same second).
     """
     config = config or StayPointConfig()
     pts = trajectory.points
     n = len(pts)
+    for k in range(n - 1):
+        if pts[k + 1].t < pts[k].t:
+            raise ValueError(
+                f"trajectory {trajectory.traj_id}: timestamps out of "
+                f"order at point {k + 1} ({pts[k + 1].t!r} < "
+                f"{pts[k].t!r}); sort the fixes before stay-point "
+                "detection"
+            )
     stays: List[StayPoint] = []
     i = 0
     while i < n:

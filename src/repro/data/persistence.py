@@ -68,7 +68,7 @@ def save_csd(path: PathLike, csd: CitySemanticDiagram) -> None:
             for u in csd.units
         ],
     }
-    with open(path, "w") as f:
+    with open(path, "w", encoding="utf-8") as f:
         # allow_nan=False backstops the popularity check above for any
         # other float field (centroids, distributions): strict JSON or
         # no file at all.
@@ -81,7 +81,7 @@ def load_csd(path: PathLike) -> CitySemanticDiagram:
     Raises ``ValueError`` on unknown format versions or structurally
     inconsistent documents.
     """
-    with open(path) as f:
+    with open(path, encoding="utf-8") as f:
         document = json.load(f)
     version = document.get("format_version")
     if version != FORMAT_VERSION:

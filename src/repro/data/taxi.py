@@ -114,16 +114,14 @@ class TaxiDataset:
 
     def linked_truths(self, min_points: int = 3) -> List[List[str]]:
         """Ground-truth category per stay point, parallel to
-        :meth:`linked_trajectories`."""
-        grouped: Dict[Tuple[int, int], List[TaxiTrip]] = {}
-        for trip in self.trips:
-            if trip.passenger_id is None:
-                continue
-            day = int(trip.pickup.t // SECONDS_PER_DAY)
-            grouped.setdefault((trip.passenger_id, day), []).append(trip)
+        :meth:`linked_trajectories`.
+
+        Both views derive from :func:`group_card_trips_by_day`, so the
+        k-th truth list always describes the k-th linked trajectory and
+        the i-th truth its i-th stay point.
+        """
         out: List[List[str]] = []
-        for (_pid, _day), day_trips in sorted(grouped.items()):
-            day_trips.sort(key=lambda tr: tr.pickup.t)
+        for day_trips in group_card_trips_by_day(self.trips):
             truths: List[str] = []
             for trip in day_trips:
                 truths.append(trip.pickup_truth)
@@ -137,21 +135,38 @@ class TaxiDataset:
         return trips_to_mining_trajectories(self.trips)
 
 
-def link_trips_by_day(
-    trips: Sequence[TaxiTrip], min_points: int = 3
-) -> List[SemanticTrajectory]:
-    """Chain each card-linked passenger's journeys of a day (Section 5)."""
+def group_card_trips_by_day(
+    trips: Sequence[TaxiTrip],
+) -> List[List[TaxiTrip]]:
+    """Card-linked journeys grouped per (passenger, day), in a canonical
+    order: groups sorted by (passenger_id, day), trips within a group by
+    pick-up time.
+
+    This is the single source of the grouping that both
+    :func:`link_trips_by_day` (trajectories) and
+    :meth:`TaxiDataset.linked_truths` (ground truth) derive from —
+    keeping the two views index-parallel by construction instead of by
+    duplicated logic.
+    """
     grouped: Dict[Tuple[int, int], List[TaxiTrip]] = {}
     for trip in trips:
         if trip.passenger_id is None:
             continue
         day = int(trip.pickup.t // SECONDS_PER_DAY)
         grouped.setdefault((trip.passenger_id, day), []).append(trip)
+    return [
+        sorted(day_trips, key=lambda tr: tr.pickup.t)
+        for _key, day_trips in sorted(grouped.items())
+    ]
 
+
+def link_trips_by_day(
+    trips: Sequence[TaxiTrip], min_points: int = 3
+) -> List[SemanticTrajectory]:
+    """Chain each card-linked passenger's journeys of a day (Section 5)."""
     out: List[SemanticTrajectory] = []
     next_id = 0
-    for (_pid, _day), day_trips in sorted(grouped.items()):
-        day_trips.sort(key=lambda tr: tr.pickup.t)
+    for day_trips in group_card_trips_by_day(trips):
         stays: List[StayPoint] = []
         for trip in day_trips:
             stays.append(trip.pickup)

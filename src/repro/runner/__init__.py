@@ -1,0 +1,55 @@
+"""repro.runner — fault-tolerant, resumable pipeline execution.
+
+The robustness layer over the Pervasive Miner stages: streaming
+validated ingestion with record quarantine (``repro.data.io.iter_*`` +
+:class:`Quarantine`), stage checkpointing with a strict-JSON manifest,
+crash/resume with bit-identical results, bounded-memory chunked
+recognition, and retry-with-backoff checkpoint I/O with an injectable
+flaky-filesystem fault hook.  See ``docs/RUNNER.md``.
+
+>>> from repro.runner import PipelineRunner                # doctest: +SKIP
+>>> runner = PipelineRunner("runs/april", resume=True)     # doctest: +SKIP
+>>> result = runner.run(pois, trajectories)                # doctest: +SKIP
+"""
+
+from repro.runner.fs import (
+    FileSystem,
+    FlakyFileSystem,
+    SimulatedCrash,
+    retry_with_backoff,
+)
+from repro.runner.manifest import (
+    Manifest,
+    StageRecord,
+    config_hash,
+    file_sha256,
+    input_digest,
+    parse_manifest,
+)
+from repro.runner.quarantine import Quarantine
+from repro.runner.runner import (
+    CSD_ARTIFACT,
+    FAULT_POINTS,
+    MANIFEST_NAME,
+    RECOGNIZED_ARTIFACT,
+    PipelineRunner,
+)
+
+__all__ = [
+    "CSD_ARTIFACT",
+    "FAULT_POINTS",
+    "FileSystem",
+    "FlakyFileSystem",
+    "MANIFEST_NAME",
+    "Manifest",
+    "PipelineRunner",
+    "Quarantine",
+    "RECOGNIZED_ARTIFACT",
+    "SimulatedCrash",
+    "StageRecord",
+    "config_hash",
+    "file_sha256",
+    "input_digest",
+    "parse_manifest",
+    "retry_with_backoff",
+]

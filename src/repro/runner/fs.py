@@ -1,0 +1,173 @@
+"""Checkpoint filesystem abstraction, retries, and fault injection.
+
+The runner never touches the filesystem directly: every checkpoint
+mutation flows through a :class:`FileSystem` so that
+
+- **atomicity** is uniform — artifacts are written to a ``*.tmp``
+  sibling and :func:`os.replace`-d into place, so a crash mid-write can
+  never leave a half-written checkpoint that a resume would trust;
+- **transient failures** (NFS hiccups, antivirus locks) are retried
+  with exponential backoff in exactly one place
+  (:func:`retry_with_backoff`);
+- **tests can inject faults**: :class:`FlakyFileSystem` wraps any
+  filesystem and (a) fails the first N mutating operations with
+  ``OSError`` to exercise the retry path, and (b) raises
+  :class:`SimulatedCrash` at named fault points to kill a run at a
+  precise pipeline location so crash/resume is actually tested
+  (``docs/RUNNER.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Set, TypeVar
+
+from repro.obs import get_registry
+
+T = TypeVar("T")
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by a fault-injection hook to emulate the process dying.
+
+    Deliberately **not** an ``OSError``: the retry machinery must let
+    it propagate (a killed process does not get retried).
+    """
+
+
+class FileSystem:
+    """Real local-disk checkpoint I/O (the default)."""
+
+    def write_artifact(
+        self, path: Path, writer: Callable[[Path], None]
+    ) -> None:
+        """Atomically produce ``path`` via ``writer(tmp_path)``.
+
+        ``writer`` receives a temporary sibling path; only after it
+        returns is the file renamed into place, so readers never see a
+        partial artifact.
+        """
+        tmp = path.with_name(path.name + ".tmp")
+        writer(tmp)
+        os.replace(tmp, path)
+
+    def write_text(self, path: Path, text: str) -> None:
+        """Atomic UTF-8 text write (used for the manifest)."""
+        self.write_artifact(
+            path, lambda tmp: tmp.write_text(text, encoding="utf-8")
+        )
+
+    def read_text(self, path: Path) -> str:
+        return path.read_text(encoding="utf-8")
+
+    def exists(self, path: Path) -> bool:
+        return path.exists()
+
+    def mkdir(self, path: Path) -> None:
+        path.mkdir(parents=True, exist_ok=True)
+
+    def fault(self, point: str) -> None:
+        """Fault-injection hook; a no-op on the real filesystem.
+
+        The runner calls this at named pipeline points (e.g.
+        ``after-constructor-checkpoint``); :class:`FlakyFileSystem`
+        overrides it to simulate crashes there.
+        """
+
+
+class FlakyFileSystem(FileSystem):
+    """Fault-injecting wrapper around another :class:`FileSystem`.
+
+    Parameters
+    ----------
+    inner:
+        The filesystem that performs the real I/O.
+    fail_writes:
+        Number of *mutating* operations (artifact or text writes) that
+        raise ``OSError`` before succeeding — exercises the runner's
+        retry-with-backoff path.  Each failed attempt consumes one.
+    crash_points:
+        Fault-point names at which :meth:`fault` raises
+        :class:`SimulatedCrash` — emulates the process being killed at
+        that exact pipeline location.  The crash fires every time the
+        point is hit, so a resumed run must pass a clean filesystem (or
+        a wrapper without that point), exactly like restarting a dead
+        job.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[FileSystem] = None,
+        fail_writes: int = 0,
+        crash_points: Iterable[str] = (),
+    ) -> None:
+        self.inner = inner or FileSystem()
+        self.fail_writes = int(fail_writes)
+        self.crash_points: Set[str] = set(crash_points)
+        self.write_attempts = 0
+        self.faults_hit: list[str] = []
+
+    def _maybe_fail(self, path: Path) -> None:
+        self.write_attempts += 1
+        if self.fail_writes > 0:
+            self.fail_writes -= 1
+            raise OSError(
+                f"injected transient failure writing {path.name} "
+                f"({self.fail_writes} more to come)"
+            )
+
+    def write_artifact(
+        self, path: Path, writer: Callable[[Path], None]
+    ) -> None:
+        self._maybe_fail(path)
+        self.inner.write_artifact(path, writer)
+
+    def write_text(self, path: Path, text: str) -> None:
+        self._maybe_fail(path)
+        self.inner.write_text(path, text)
+
+    def read_text(self, path: Path) -> str:
+        return self.inner.read_text(path)
+
+    def exists(self, path: Path) -> bool:
+        return self.inner.exists(path)
+
+    def mkdir(self, path: Path) -> None:
+        self.inner.mkdir(path)
+
+    def fault(self, point: str) -> None:
+        self.faults_hit.append(point)
+        if point in self.crash_points:
+            raise SimulatedCrash(f"injected crash at fault point {point!r}")
+
+
+def retry_with_backoff(
+    operation: Callable[[], T],
+    max_retries: int = 3,
+    backoff_s: float = 0.05,
+    sleep: Callable[[float], None] = time.sleep,
+    metric: str = "pipeline.runner.checkpoint.retries",
+) -> T:
+    """Run ``operation``, retrying ``OSError`` with exponential backoff.
+
+    Attempts ``max_retries + 1`` times total, sleeping ``backoff_s *
+    2**attempt`` between attempts; the last failure propagates.  Only
+    ``OSError`` (transient I/O) is retried — :class:`SimulatedCrash`
+    and everything else escape immediately.  ``sleep`` is injectable so
+    tests run instantly.  Each retry increments ``metric`` on the
+    :mod:`repro.obs` registry.
+    """
+    if max_retries < 0:
+        raise ValueError("max_retries must be non-negative")
+    attempt = 0
+    while True:
+        try:
+            return operation()
+        except OSError:
+            if attempt >= max_retries:
+                raise
+            get_registry().counter(metric).inc()
+            sleep(backoff_s * (2.0 ** attempt))
+            attempt += 1

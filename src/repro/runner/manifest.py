@@ -1,0 +1,197 @@
+"""Run manifests: what a checkpoint directory claims to contain.
+
+The manifest is the single source of truth for resume decisions.  It is
+a strict-JSON document (``allow_nan=False``, like the persistence
+layer) recording
+
+- a **config hash** over both parameter dataclasses plus the runner's
+  own result-affecting knobs, and
+- an **input digest** over the POI set and the trajectory corpus,
+
+so a checkpoint is only ever reused for the exact computation that
+produced it — resuming with a different ``alpha`` or a regenerated
+corpus is detected and refused instead of silently mixing results.
+Per-stage entries carry the artifact filename and its SHA-256, letting
+the runner reject artifacts that were truncated or edited after the
+manifest was written.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from repro.core.config import CSDConfig, MiningConfig
+from repro.data.poi import POI
+from repro.data.trajectory import SemanticTrajectory
+
+#: Format marker so later revisions can migrate old run directories.
+MANIFEST_VERSION = 1
+
+#: Stage names in execution order.
+STAGES = ("constructor", "recognition", "extraction")
+
+STATUS_PENDING = "pending"
+STATUS_COMPLETE = "complete"
+
+
+@dataclass
+class StageRecord:
+    """Checkpoint state of one pipeline stage."""
+
+    status: str = STATUS_PENDING
+    artifact: Optional[str] = None
+    artifact_sha256: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"status": self.status}
+        if self.artifact is not None:
+            out["artifact"] = self.artifact
+            out["artifact_sha256"] = self.artifact_sha256
+        return out
+
+
+@dataclass
+class Manifest:
+    """The ``manifest.json`` document of one run directory."""
+
+    config_hash: str
+    input_digest: str
+    format_version: int = MANIFEST_VERSION
+    stages: Dict[str, StageRecord] = field(
+        default_factory=lambda: {name: StageRecord() for name in STAGES}
+    )
+
+    def matches(self, config_hash: str, input_digest: str) -> bool:
+        """True when this manifest describes the same computation."""
+        return (
+            self.config_hash == config_hash
+            and self.input_digest == input_digest
+        )
+
+    def stage(self, name: str) -> StageRecord:
+        if name not in self.stages:
+            raise KeyError(f"unknown stage {name!r}")
+        return self.stages[name]
+
+    def mark_complete(
+        self, name: str, artifact: Optional[str], artifact_sha256: Optional[str]
+    ) -> None:
+        record = self.stage(name)
+        record.status = STATUS_COMPLETE
+        record.artifact = artifact
+        record.artifact_sha256 = artifact_sha256
+
+    def to_json(self) -> str:
+        document = {
+            "format_version": self.format_version,
+            "config_hash": self.config_hash,
+            "input_digest": self.input_digest,
+            "stages": {
+                name: record.to_dict()
+                for name, record in self.stages.items()
+            },
+        }
+        return json.dumps(
+            document, indent=2, sort_keys=True, allow_nan=False
+        )
+
+
+def parse_manifest(text: str) -> Manifest:
+    """Parse :meth:`Manifest.to_json` output; raises ``ValueError`` on
+    unknown versions or structurally broken documents."""
+    document = json.loads(text)
+    version = document.get("format_version")
+    if version != MANIFEST_VERSION:
+        raise ValueError(
+            f"unsupported manifest version {version!r} "
+            f"(this build reads version {MANIFEST_VERSION})"
+        )
+    stages: Dict[str, StageRecord] = {}
+    for name in STAGES:
+        raw = document.get("stages", {}).get(name)
+        if raw is None:
+            stages[name] = StageRecord()
+            continue
+        status = str(raw.get("status", STATUS_PENDING))
+        if status not in (STATUS_PENDING, STATUS_COMPLETE):
+            raise ValueError(f"stage {name!r} has unknown status {status!r}")
+        artifact = raw.get("artifact")
+        stages[name] = StageRecord(
+            status=status,
+            artifact=None if artifact is None else str(artifact),
+            artifact_sha256=(
+                None
+                if raw.get("artifact_sha256") is None
+                else str(raw["artifact_sha256"])
+            ),
+        )
+    return Manifest(
+        config_hash=str(document["config_hash"]),
+        input_digest=str(document["input_digest"]),
+        stages=stages,
+    )
+
+
+def config_hash(
+    csd_config: CSDConfig,
+    mining_config: MiningConfig,
+    chunk_size: int,
+) -> str:
+    """SHA-256 over every parameter that can change the mining result.
+
+    ``chunk_size`` is included defensively: chunked recognition is
+    bit-identical by construction (each stay point votes
+    independently), but hashing it means a future chunk-sensitive stage
+    cannot silently reuse a stale checkpoint.
+    """
+    payload = {
+        "csd_config": asdict(csd_config),
+        "mining_config": asdict(mining_config),
+        "chunk_size": int(chunk_size),
+    }
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def input_digest(
+    pois: Sequence[POI],
+    trajectories: Sequence[SemanticTrajectory],
+) -> str:
+    """Streaming SHA-256 over the full input corpus.
+
+    Floats are hashed via ``repr`` (shortest round-tripping form), so
+    the digest is stable across platforms and process restarts but
+    changes on any value change.  Cost is one pass over the data —
+    negligible next to construction and recognition.
+    """
+    h = hashlib.sha256()
+    h.update(f"pois:{len(pois)}\n".encode("utf-8"))
+    for p in pois:
+        h.update(
+            f"{p.poi_id},{p.lon!r},{p.lat!r},{p.major},{p.minor},{p.name}\n"
+            .encode("utf-8")
+        )
+    h.update(f"trajectories:{len(trajectories)}\n".encode("utf-8"))
+    for st in trajectories:
+        h.update(f"t{st.traj_id}:{len(st.stay_points)}\n".encode("utf-8"))
+        for sp in st.stay_points:
+            tags = ",".join(sorted(sp.semantics))
+            h.update(
+                f"{sp.lon!r},{sp.lat!r},{sp.t!r},{tags}\n".encode("utf-8")
+            )
+    return h.hexdigest()
+
+
+def file_sha256(path: Union[str, Path]) -> str:
+    """SHA-256 of a file's bytes (checkpoint artifact integrity)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for block in iter(lambda: f.read(1 << 20), b""):
+            h.update(block)
+    return h.hexdigest()

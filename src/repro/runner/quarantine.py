@@ -1,0 +1,82 @@
+"""Quarantine file: where malformed input records go to be audited.
+
+A 2.2e7-row GPS corpus always contains garbage — truncated lines,
+sensor NaNs, clock glitches.  Aborting a 40-minute run on row
+18,201,337 is the wrong trade; dropping the row silently is worse.  The
+quarantine CSV is the middle path: every rejected record lands here
+with its source, 1-based data-row number, machine-readable reason, and
+the raw text, so the run completes *and* the loss is fully auditable
+(and re-ingestable after repair).
+
+The writer implements the :data:`repro.data.io.BadRowSink` protocol —
+pass ``quarantine.sink("trips.csv")`` as ``on_bad_row`` to any
+``iter_*`` reader.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from types import TracebackType
+from typing import IO, Any, Optional, Type, Union
+
+from repro.data.io import BadRowSink, QuarantinedRow
+
+PathLike = Union[str, Path]
+
+QUARANTINE_FIELDS = ["source", "row_number", "reason", "raw"]
+
+
+class Quarantine:
+    """Append-only CSV of rejected input records.
+
+    The file (and its header) is created lazily on the first rejected
+    row, so a clean run leaves no quarantine file behind — its absence
+    is itself the audit result.  Use as a context manager or call
+    :meth:`close` explicitly.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.count = 0
+        self._file: Optional[IO[str]] = None
+        self._writer: Optional[Any] = None  # csv writer object
+
+    def sink(self, source: str) -> BadRowSink:
+        """A :data:`BadRowSink` recording rows under ``source``."""
+
+        def on_bad_row(row: QuarantinedRow) -> None:
+            self.add(source, row)
+
+        return on_bad_row
+
+    def add(self, source: str, row: QuarantinedRow) -> None:
+        if self._writer is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(
+                self.path, "w", newline="", encoding="utf-8"
+            )
+            self._writer = csv.writer(self._file)
+            self._writer.writerow(QUARANTINE_FIELDS)
+        self._writer.writerow(
+            [source, row.row_number, row.reason, row.raw]
+        )
+        self.count += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+            self._writer = None
+
+    def __enter__(self) -> "Quarantine":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,330 @@
+"""The fault-tolerant, resumable Pervasive Miner pipeline runner.
+
+:class:`PipelineRunner` executes the three mining stages —
+constructor, recognition, extraction — as checkpointed steps inside a
+run directory::
+
+    run_dir/
+      manifest.json     # config hash, input digest, per-stage status
+      csd.json          # save_csd() after the constructor stage
+      recognized.csv    # write_semantic_trajectories() after recognition
+      quarantine.csv    # malformed input rows (written by the caller)
+
+A run that dies 40 minutes in — crash, OOM kill, pre-empted spot
+instance — resumes with ``resume=True``: any stage whose manifest entry
+is complete, whose artifact hash matches, and whose (config hash, input
+digest) pair matches the new invocation is loaded from its checkpoint
+instead of recomputed.  Because every checkpoint round-trips exactly
+(CSV floats via ``repr``, strict JSON) and recognition is per-stay
+independent, a resumed run produces **bit-identical patterns** to an
+uninterrupted one — ``tests/test_runner.py`` asserts this for a crash
+after every stage.
+
+Recognition runs in configurable chunks through the batched
+``recognize_points`` kernel, so peak memory is bounded by
+``chunk_size`` rather than the corpus size.  Checkpoint I/O goes
+through an injectable :class:`~repro.runner.fs.FileSystem` with
+retry-with-backoff on transient ``OSError``; tests inject
+:class:`~repro.runner.fs.FlakyFileSystem` to exercise both the retry
+and the crash/resume paths (``docs/RUNNER.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.core.config import CSDConfig, MiningConfig
+from repro.core.csd import CitySemanticDiagram
+from repro.core.miner import MiningResult, PervasiveMiner
+from repro.core.recognition import CSDRecognizer
+from repro.data.io import (
+    read_semantic_trajectories,
+    write_semantic_trajectories,
+)
+from repro.data.persistence import load_csd, save_csd
+from repro.data.poi import POI
+from repro.data.trajectory import (
+    SemanticTrajectory,
+    StayPoint,
+    validate_database,
+)
+from repro.obs import get_registry
+from repro.runner.fs import FileSystem, retry_with_backoff
+from repro.runner.manifest import (
+    Manifest,
+    config_hash,
+    file_sha256,
+    input_digest,
+    parse_manifest,
+)
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+CSD_ARTIFACT = "csd.json"
+RECOGNIZED_ARTIFACT = "recognized.csv"
+
+#: Fault points the runner announces to the filesystem's
+#: :meth:`~repro.runner.fs.FileSystem.fault` hook, in execution order.
+FAULT_POINTS = (
+    "before-constructor",
+    "after-constructor-checkpoint",
+    "before-recognition",
+    "after-recognition-checkpoint",
+    "before-extraction",
+    "after-extraction",
+)
+
+
+class PipelineRunner:
+    """Checkpointed, restartable three-stage Pervasive Miner driver.
+
+    Parameters
+    ----------
+    run_dir:
+        Directory holding the manifest and stage checkpoints; created
+        if missing.
+    csd_config, mining_config:
+        Same parameters as :class:`~repro.core.miner.PervasiveMiner`.
+    resume:
+        When True, completed stages whose checkpoints match the
+        manifest (config hash + input digest + artifact SHA-256) are
+        loaded instead of recomputed.  A manifest for a *different*
+        computation raises ``ValueError`` — stale checkpoints are never
+        silently mixed into a new run.  When False, any existing
+        checkpoint state is ignored and overwritten.
+    chunk_size:
+        Stay points per recognition batch; bounds peak memory on large
+        corpora.
+    fs:
+        Checkpoint I/O backend; tests inject
+        :class:`~repro.runner.fs.FlakyFileSystem`.
+    max_retries, backoff_s, sleep:
+        Transient-``OSError`` retry policy for checkpoint writes (see
+        :func:`~repro.runner.fs.retry_with_backoff`).
+    """
+
+    def __init__(
+        self,
+        run_dir: PathLike,
+        csd_config: Optional[CSDConfig] = None,
+        mining_config: Optional[MiningConfig] = None,
+        *,
+        resume: bool = False,
+        chunk_size: int = 8192,
+        fs: Optional[FileSystem] = None,
+        max_retries: int = 3,
+        backoff_s: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.run_dir = Path(run_dir)
+        self.csd_config = csd_config or CSDConfig()
+        self.mining_config = mining_config or MiningConfig()
+        self.resume = bool(resume)
+        self.chunk_size = int(chunk_size)
+        self.fs = fs or FileSystem()
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self._sleep = sleep
+        self._miner = PervasiveMiner(self.csd_config, self.mining_config)
+
+    # -- checkpoint plumbing -------------------------------------------
+
+    def _checkpoint(self, name: str, writer: Callable[[Path], None]) -> str:
+        """Atomically write artifact ``name``; returns its SHA-256."""
+        path = self.run_dir / name
+        reg = get_registry()
+        with reg.timer("pipeline.runner.checkpoint"):
+            retry_with_backoff(
+                lambda: self.fs.write_artifact(path, writer),
+                max_retries=self.max_retries,
+                backoff_s=self.backoff_s,
+                sleep=self._sleep,
+            )
+        return file_sha256(path)
+
+    def _save_manifest(self, manifest: Manifest) -> None:
+        retry_with_backoff(
+            lambda: self.fs.write_text(
+                self.run_dir / MANIFEST_NAME, manifest.to_json() + "\n"
+            ),
+            max_retries=self.max_retries,
+            backoff_s=self.backoff_s,
+            sleep=self._sleep,
+        )
+
+    def _load_manifest(
+        self, cfg_hash: str, in_digest: str
+    ) -> Optional[Manifest]:
+        """The resumable manifest, or None to start fresh.
+
+        Raises ``ValueError`` when ``resume=True`` meets a manifest for
+        a different config/input — the one case where proceeding would
+        corrupt results.
+        """
+        path = self.run_dir / MANIFEST_NAME
+        if not self.fs.exists(path):
+            return None
+        if not self.resume:
+            return None
+        manifest = parse_manifest(self.fs.read_text(path))
+        if not manifest.matches(cfg_hash, in_digest):
+            raise ValueError(
+                f"run directory {self.run_dir} holds checkpoints for a "
+                "different computation (config hash or input digest "
+                "mismatch); pass resume=False to overwrite, or use a "
+                "fresh --run-dir"
+            )
+        return manifest
+
+    def _stage_checkpoint_valid(
+        self, manifest: Optional[Manifest], stage: str
+    ) -> bool:
+        """True when ``stage`` can be loaded instead of recomputed."""
+        if manifest is None:
+            return False
+        record = manifest.stage(stage)
+        if record.status != "complete" or record.artifact is None:
+            return False
+        path = self.run_dir / record.artifact
+        if not self.fs.exists(path):
+            return False
+        if record.artifact_sha256 != file_sha256(path):
+            return False
+        return True
+
+    # -- stages --------------------------------------------------------
+
+    def _recognize_chunked(
+        self,
+        csd: CitySemanticDiagram,
+        trajectories: Sequence[SemanticTrajectory],
+    ) -> List[SemanticTrajectory]:
+        """Bounded-memory recognition: the flat stay-point corpus flows
+        through ``recognize_points`` in ``chunk_size`` slices.
+
+        Per-stay voting is independent, so chunking is bit-identical to
+        one whole-corpus batch (the kernel-equivalence tests pin this).
+        """
+        reg = get_registry()
+        recognizer = CSDRecognizer(csd, self.csd_config.r3sigma_m)
+        flat: List[StayPoint] = [
+            sp for st in trajectories for sp in st.stay_points
+        ]
+        props = []
+        total = len(flat)
+        progress = reg.gauge("pipeline.runner.recognition.progress")
+        for start in range(0, total, self.chunk_size):
+            chunk = flat[start : start + self.chunk_size]
+            props.extend(recognizer.recognize_points(chunk))
+            reg.counter("pipeline.runner.chunks").inc()
+            progress.set(min(1.0, (start + len(chunk)) / max(total, 1)))
+        progress.set(1.0)
+        out: List[SemanticTrajectory] = []
+        cursor = 0
+        for st in trajectories:
+            stays = [
+                sp.with_semantics(props[cursor + i])
+                for i, sp in enumerate(st.stay_points)
+            ]
+            cursor += len(st.stay_points)
+            out.append(SemanticTrajectory(st.traj_id, stays))
+        return out
+
+    # -- public API ----------------------------------------------------
+
+    def run(
+        self,
+        pois: Sequence[POI],
+        trajectories: Sequence[SemanticTrajectory],
+    ) -> MiningResult:
+        """Execute (or resume) the full pipeline; returns the same
+        :class:`~repro.core.miner.MiningResult` as ``PervasiveMiner.mine``.
+        """
+        reg = get_registry()
+        validate_database(trajectories)
+        # The recognition checkpoint is keyed by traj_id; duplicates
+        # would merge on reload and break crash/resume equivalence.
+        ids = [st.traj_id for st in trajectories]
+        if len(set(ids)) != len(ids):
+            raise ValueError(
+                "trajectory ids must be unique for a checkpointed run "
+                "(the recognition checkpoint round-trips by traj_id)"
+            )
+        if sorted(ids) != ids:
+            raise ValueError(
+                "trajectories must be sorted by traj_id for a "
+                "checkpointed run: the recognition checkpoint reloads "
+                "in id order, and pattern extraction must see the same "
+                "corpus order on resume"
+            )
+        with reg.span("pipeline.runner"):
+            self.fs.mkdir(self.run_dir)
+            cfg_hash = config_hash(
+                self.csd_config, self.mining_config, self.chunk_size
+            )
+            in_digest = input_digest(pois, trajectories)
+            manifest = self._load_manifest(cfg_hash, in_digest)
+            resumed_any = manifest is not None
+            reg.gauge("pipeline.runner.resumed").set(
+                1.0 if resumed_any else 0.0
+            )
+            if manifest is None:
+                manifest = Manifest(cfg_hash, in_digest)
+                self._save_manifest(manifest)
+
+            # Stage 1: constructor -> csd.json
+            self.fs.fault("before-constructor")
+            if self._stage_checkpoint_valid(manifest, "constructor"):
+                csd = load_csd(self.run_dir / CSD_ARTIFACT)
+                reg.counter("pipeline.runner.stages.skipped").inc()
+            else:
+                with reg.span("constructor"):
+                    stay_points = [
+                        sp for st in trajectories for sp in st.stay_points
+                    ]
+                    csd = self._miner.build_diagram(pois, stay_points)
+                sha = self._checkpoint(
+                    CSD_ARTIFACT, lambda tmp: save_csd(tmp, csd)
+                )
+                manifest.mark_complete("constructor", CSD_ARTIFACT, sha)
+                self._save_manifest(manifest)
+                reg.counter("pipeline.runner.stages.run").inc()
+            self.fs.fault("after-constructor-checkpoint")
+
+            # Stage 2: chunked recognition -> recognized.csv
+            self.fs.fault("before-recognition")
+            if self._stage_checkpoint_valid(manifest, "recognition"):
+                recognized = read_semantic_trajectories(
+                    self.run_dir / RECOGNIZED_ARTIFACT
+                )
+                reg.counter("pipeline.runner.stages.skipped").inc()
+            else:
+                with reg.span("recognition"):
+                    recognized = self._recognize_chunked(csd, trajectories)
+                sha = self._checkpoint(
+                    RECOGNIZED_ARTIFACT,
+                    lambda tmp: write_semantic_trajectories(tmp, recognized),
+                )
+                manifest.mark_complete(
+                    "recognition", RECOGNIZED_ARTIFACT, sha
+                )
+                self._save_manifest(manifest)
+                reg.counter("pipeline.runner.stages.run").inc()
+            self.fs.fault("after-recognition-checkpoint")
+
+            # Stage 3: extraction (cheap relative to 1-2; recomputed on
+            # resume rather than checkpointed).
+            self.fs.fault("before-extraction")
+            with reg.span("extraction"):
+                patterns = self._miner.extract(csd, recognized)
+            manifest.mark_complete("extraction", None, None)
+            self._save_manifest(manifest)
+            reg.counter("pipeline.runner.stages.run").inc()
+            self.fs.fault("after-extraction")
+
+        return MiningResult(csd, recognized, patterns)

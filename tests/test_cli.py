@@ -130,6 +130,52 @@ class TestMetricsJson:
         assert obs.report()["counters"] == {}
 
 
+class TestRun:
+    """The fault-tolerant checkpointed pipeline subcommand."""
+
+    def test_run_quarantines_and_resumes(self, data_dir, tmp_path, capsys):
+        trips = tmp_path / "trips.csv"
+        lines = (data_dir / "trips.csv").read_text(
+            encoding="utf-8"
+        ).splitlines()
+        lines.insert(
+            3, "9999,,bogus,31.0,0.0,121.0,31.0,60.0,Residence,Residence"
+        )
+        trips.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        run_dir = tmp_path / "run"
+        argv = [
+            "run", "--pois", str(data_dir / "pois.csv"),
+            "--trips", str(trips), "--run-dir", str(run_dir),
+            "--support", "10", "--chunk-size", "500",
+        ]
+        rc = main(argv)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 rows quarantined" in out
+        first_patterns = out[out.index("route"):]
+        quarantine = (run_dir / "quarantine.csv").read_text(
+            encoding="utf-8"
+        )
+        assert "invalid float" in quarantine
+        assert (run_dir / "manifest.json").exists()
+        assert (run_dir / "csd.json").exists()
+        assert (run_dir / "recognized.csv").exists()
+
+        rc = main(argv + ["--resume"])
+        assert rc == 0
+        resumed = capsys.readouterr().out
+        assert resumed[resumed.index("route"):] == first_patterns
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["run", "--pois", "p.csv", "--trips", "t.csv",
+             "--run-dir", "d"]
+        )
+        assert args.resume is False
+        assert args.chunk_size == 8192
+        assert args.quarantine is None
+
+
 class TestCheckins:
     def test_prints_both_cities(self, capsys):
         rc = main(["checkins", "--activities", "20000", "--top", "5"])

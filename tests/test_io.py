@@ -1,6 +1,12 @@
 """Round-trip tests for dataset CSV I/O."""
 
+import pytest
+
+from repro import obs
 from repro.data.io import (
+    MalformedRowError,
+    iter_semantic_trajectories,
+    iter_trips,
     read_pois,
     read_semantic_trajectories,
     read_trips,
@@ -8,7 +14,9 @@ from repro.data.io import (
     write_semantic_trajectories,
     write_trips,
 )
+from repro.data.poi import POI
 from repro.data.trajectory import SemanticTrajectory, StayPoint
+from repro.obs import MetricsRegistry
 
 
 class TestPOIRoundTrip:
@@ -22,6 +30,19 @@ class TestPOIRoundTrip:
         path = tmp_path / "empty.csv"
         write_pois(path, [])
         assert read_pois(path) == []
+
+    def test_non_ascii_names_roundtrip(self, tmp_path):
+        """UTF-8 is pinned on every open(): 上海 must survive the
+        round-trip on any platform, not just where utf-8 is default."""
+        pois = [
+            POI(0, 121.47, 31.23, "Restaurant", "Noodle House", "兰州拉面·静安店"),
+            POI(1, 121.48, 31.24, "Tourism", "Museum", "Musée d'Orsay Café"),
+        ]
+        path = tmp_path / "pois.csv"
+        write_pois(path, pois)
+        assert read_pois(path) == pois
+        raw = path.read_bytes()
+        assert "兰州拉面".encode("utf-8") in raw
 
 
 class TestTripRoundTrip:
@@ -68,3 +89,146 @@ class TestTrajectoryRoundTrip:
         back = read_semantic_trajectories(path)
         assert [st.traj_id for st in back] == [0, 1, 2, 3]
         assert all(len(st) == 3 for st in back)
+
+    def test_pipe_in_tag_roundtrips(self, tmp_path):
+        """A tag containing the ``|`` separator must not split in two on
+        read; the writer backslash-escapes it."""
+        tags = frozenset({"Shop | Market", "A|B|C", "back\\slash", "plain"})
+        st = SemanticTrajectory(0, [StayPoint(121.0, 31.0, 10.0, tags)])
+        path = tmp_path / "pipe.csv"
+        write_semantic_trajectories(path, [st])
+        back = read_semantic_trajectories(path)
+        assert back[0].stay_points[0].semantics == tags
+
+    def test_empty_trajectory_survives_roundtrip(self, tmp_path):
+        """Zero-stay trajectories must not vanish: trajectory counts are
+        part of the persisted contract."""
+        sts = [
+            SemanticTrajectory(0, [StayPoint(121.0, 31.0, 1.0)]),
+            SemanticTrajectory(1, []),
+            SemanticTrajectory(2, [StayPoint(121.1, 31.1, 2.0)]),
+        ]
+        path = tmp_path / "with-empty.csv"
+        write_semantic_trajectories(path, sts)
+        back = read_semantic_trajectories(path)
+        assert [st.traj_id for st in back] == [0, 1, 2]
+        assert [len(st.stay_points) for st in back] == [1, 0, 1]
+        streamed = list(iter_semantic_trajectories(path))
+        assert [st.traj_id for st in streamed] == [0, 1, 2]
+        assert [len(st.stay_points) for st in streamed] == [1, 0, 1]
+
+    def test_scattered_rows_reassemble_in_order(self, tmp_path):
+        """The whole-file loader tolerates interleaved trajectories."""
+        path = tmp_path / "scattered.csv"
+        path.write_text(
+            "traj_id,order,lon,lat,t,semantics\n"
+            "1,1,121.1,31.1,11.0,\n"
+            "0,0,121.0,31.0,0.0,\n"
+            "1,0,121.2,31.2,10.0,\n"
+            "0,1,121.3,31.3,1.0,\n",
+            encoding="utf-8",
+        )
+        back = read_semantic_trajectories(path)
+        assert [st.traj_id for st in back] == [0, 1]
+        assert [sp.t for sp in back[0].stay_points] == [0.0, 1.0]
+        assert [sp.t for sp in back[1].stay_points] == [10.0, 11.0]
+
+
+def _trip_rows(rows):
+    header = ("trip_id,passenger_id,pickup_lon,pickup_lat,pickup_t,"
+              "dropoff_lon,dropoff_lat,dropoff_t,pickup_truth,dropoff_truth")
+    return header + "\n" + "\n".join(rows) + "\n"
+
+
+GOOD_ROW = "0,,121.0,31.0,100.0,121.1,31.1,200.0,Residence,Shop & Market"
+
+
+class TestStreamingValidation:
+    @pytest.mark.parametrize(
+        "bad_row, reason_fragment",
+        [
+            ("1,,abc,31.0,100.0,121.0,31.0,200.0,R,R", "invalid float"),
+            ("1,,121.0,31.0,100.0,121.0,31.0,xyz,R,R", "invalid float"),
+            ("1,,121.0,nan,100.0,121.0,31.0,200.0,R,R", "non-finite"),
+            ("1,,121.0,31.0,inf,121.0,31.0,200.0,R,R", "non-finite"),
+            ("1,,200.5,31.0,100.0,121.0,31.0,200.0,R,R", "out of range"),
+            ("1,,121.0,95.0,100.0,121.0,31.0,200.0,R,R", "out of range"),
+            ("1,,121.0,31.0,500.0,121.0,31.0,100.0,R,R", "negative dwell"),
+            ("1,,121.0,31.0,100.0,121.0,31.0,200.0,R", "missing column"),
+            ("not-an-int,,121.0,31.0,100.0,121.0,31.0,200.0,R,R",
+             "invalid integer trip_id"),
+        ],
+    )
+    def test_bad_trip_rows_quarantined_with_reason(
+        self, tmp_path, bad_row, reason_fragment
+    ):
+        path = tmp_path / "trips.csv"
+        path.write_text(
+            _trip_rows([GOOD_ROW, bad_row]), encoding="utf-8"
+        )
+        quarantined = []
+        trips = list(iter_trips(path, on_bad_row=quarantined.append))
+        assert [t.trip_id for t in trips] == [0]
+        assert len(quarantined) == 1
+        assert quarantined[0].row_number == 2
+        assert reason_fragment in quarantined[0].reason
+
+    def test_strict_mode_raises_with_row_context(self, tmp_path):
+        path = tmp_path / "trips.csv"
+        path.write_text(
+            _trip_rows([GOOD_ROW, GOOD_ROW.replace("121.0", "bogus")]),
+            encoding="utf-8",
+        )
+        with pytest.raises(MalformedRowError, match="row 2"):
+            read_trips(path)
+
+    def test_equal_timestamps_are_a_legal_dwell(self, tmp_path):
+        row = "0,,121.0,31.0,100.0,121.1,31.1,100.0,R,R"
+        path = tmp_path / "trips.csv"
+        path.write_text(_trip_rows([row]), encoding="utf-8")
+        trips = read_trips(path)
+        assert trips[0].duration_s == 0.0
+
+    def test_bad_trajectory_stay_drops_point_not_trajectory(self, tmp_path):
+        path = tmp_path / "st.csv"
+        path.write_text(
+            "traj_id,order,lon,lat,t,semantics\n"
+            "0,0,121.0,31.0,0.0,A\n"
+            "0,1,broken,31.0,1.0,A\n"
+            "0,2,121.2,31.2,2.0,A\n",
+            encoding="utf-8",
+        )
+        quarantined = []
+        out = list(
+            iter_semantic_trajectories(path, on_bad_row=quarantined.append)
+        )
+        assert len(out) == 1
+        assert [sp.t for sp in out[0].stay_points] == [0.0, 2.0]
+        assert len(quarantined) == 1
+        assert quarantined[0].row_number == 2
+
+    def test_ingest_counters_emitted(self, tmp_path):
+        path = tmp_path / "trips.csv"
+        path.write_text(
+            _trip_rows(
+                [GOOD_ROW, GOOD_ROW.replace("121.0", "zzz"),
+                 GOOD_ROW.replace("0,,", "2,,")]
+            ),
+            encoding="utf-8",
+        )
+        reg = MetricsRegistry(enabled=True)
+        old = obs.set_registry(reg)
+        try:
+            sink = []
+            trips = list(iter_trips(path, on_bad_row=sink.append))
+        finally:
+            obs.set_registry(old)
+        assert len(trips) == 2
+        counters = reg.snapshot()["counters"]
+        assert counters["ingest.rows"] == 3
+        assert counters["ingest.quarantined"] == 1
+
+    def test_streaming_and_eager_readers_agree(self, tmp_path, small_taxi):
+        path = tmp_path / "trips.csv"
+        write_trips(path, small_taxi.trips[:100])
+        assert list(iter_trips(path)) == read_trips(path)

@@ -47,6 +47,19 @@ class TestFacadeSteps:
             (p.items, p.support) for p in one_call.patterns
         ]
 
+    def test_mine_with_prebuilt_csd(self, small_pois, small_trajectories,
+                                    small_csd, small_csd_config,
+                                    small_mining_config):
+        """Passing a pre-built diagram skips the constructor stage and
+        yields the same patterns as building it in-call."""
+        miner = PervasiveMiner(small_csd_config, small_mining_config)
+        fresh = miner.mine(small_pois, small_trajectories)
+        reused = miner.mine(small_pois, small_trajectories, csd=small_csd)
+        assert reused.csd is small_csd
+        assert [(p.items, p.support) for p in reused.patterns] == [
+            (p.items, p.support) for p in fresh.patterns
+        ]
+
     def test_result_properties(self, small_pois, small_trajectories,
                                small_csd_config, small_mining_config):
         miner = PervasiveMiner(small_csd_config, small_mining_config)

@@ -1,0 +1,392 @@
+"""Tests for the fault-tolerant checkpointed pipeline runner.
+
+The acceptance-level guarantees: (1) a run interrupted after any stage
+and resumed produces bit-identical patterns to an uninterrupted run,
+(2) a corpus with malformed rows completes with those rows quarantined
+and counted instead of aborting, (3) transient checkpoint I/O failures
+are retried with backoff, (4) stale checkpoints (different config or
+input) are refused, never silently reused.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.config import CSDConfig, MiningConfig
+from repro.core.miner import PervasiveMiner
+from repro.data.io import iter_trips, write_trips
+from repro.data.taxi import trips_to_mining_trajectories
+from repro.data.trajectory import SemanticTrajectory, StayPoint
+from repro.obs import MetricsRegistry
+from repro.runner import (
+    CSD_ARTIFACT,
+    FAULT_POINTS,
+    FlakyFileSystem,
+    MANIFEST_NAME,
+    PipelineRunner,
+    Quarantine,
+    RECOGNIZED_ARTIFACT,
+    SimulatedCrash,
+    config_hash,
+    input_digest,
+    parse_manifest,
+    retry_with_backoff,
+)
+
+CHUNK = 500
+
+
+def pattern_key(patterns):
+    """Exact content of a pattern list, for bit-identity assertions."""
+    return [
+        (
+            p.items,
+            tuple(p.member_ids),
+            tuple(
+                (sp.lon, sp.lat, sp.t, tuple(sorted(sp.semantics)))
+                for sp in p.representatives
+            ),
+            tuple(
+                tuple(
+                    (sp.lon, sp.lat, sp.t, tuple(sorted(sp.semantics)))
+                    for sp in group
+                )
+                for group in p.groups
+            ),
+        )
+        for p in patterns
+    ]
+
+
+@pytest.fixture(scope="module")
+def workload(small_pois, small_trajectories):
+    # Uninterrupted, non-checkpointed reference from the plain miner.
+    cc = CSDConfig(alpha=0.7)
+    mc = MiningConfig(support=10, rho=0.001)
+    reference = PervasiveMiner(cc, mc).mine(small_pois, small_trajectories)
+    return cc, mc, reference
+
+
+class TestRunnerEquivalence:
+    def test_matches_plain_miner(
+        self, tmp_path, small_pois, small_trajectories, workload
+    ):
+        cc, mc, reference = workload
+        runner = PipelineRunner(
+            tmp_path / "run", cc, mc, chunk_size=CHUNK
+        )
+        result = runner.run(small_pois, small_trajectories)
+        assert pattern_key(result.patterns) == pattern_key(
+            reference.patterns
+        )
+        assert [st.stay_points for st in result.recognized] == [
+            st.stay_points for st in reference.recognized
+        ]
+
+    def test_chunk_size_does_not_change_results(
+        self, tmp_path, small_pois, small_trajectories, workload
+    ):
+        cc, mc, reference = workload
+        result = PipelineRunner(
+            tmp_path / "tiny-chunks", cc, mc, chunk_size=37
+        ).run(small_pois, small_trajectories)
+        assert pattern_key(result.patterns) == pattern_key(
+            reference.patterns
+        )
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize(
+        "crash_point",
+        [
+            "after-constructor-checkpoint",
+            "before-recognition",
+            "after-recognition-checkpoint",
+            "before-extraction",
+        ],
+    )
+    def test_resume_after_crash_is_bit_identical(
+        self, tmp_path, small_pois, small_trajectories, workload, crash_point
+    ):
+        cc, mc, reference = workload
+        run_dir = tmp_path / "crashed"
+        flaky = FlakyFileSystem(crash_points={crash_point})
+        with pytest.raises(SimulatedCrash):
+            PipelineRunner(
+                run_dir, cc, mc, chunk_size=CHUNK, fs=flaky
+            ).run(small_pois, small_trajectories)
+        result = PipelineRunner(
+            run_dir, cc, mc, chunk_size=CHUNK, resume=True
+        ).run(small_pois, small_trajectories)
+        assert pattern_key(result.patterns) == pattern_key(
+            reference.patterns
+        )
+        assert [st.stay_points for st in result.recognized] == [
+            st.stay_points for st in reference.recognized
+        ]
+
+    def test_resume_skips_completed_stages(
+        self, tmp_path, small_pois, small_trajectories, workload
+    ):
+        cc, mc, _ = workload
+        run_dir = tmp_path / "skip"
+        flaky = FlakyFileSystem(
+            crash_points={"after-recognition-checkpoint"}
+        )
+        with pytest.raises(SimulatedCrash):
+            PipelineRunner(
+                run_dir, cc, mc, chunk_size=CHUNK, fs=flaky
+            ).run(small_pois, small_trajectories)
+
+        reg = MetricsRegistry(enabled=True)
+        old = obs.set_registry(reg)
+        try:
+            PipelineRunner(
+                run_dir, cc, mc, chunk_size=CHUNK, resume=True
+            ).run(small_pois, small_trajectories)
+        finally:
+            obs.set_registry(old)
+        snapshot = reg.snapshot()
+        # Constructor + recognition loaded from checkpoints; only
+        # extraction recomputed.
+        assert snapshot["counters"]["pipeline.runner.stages.skipped"] == 2
+        assert snapshot["counters"]["pipeline.runner.stages.run"] == 1
+        assert snapshot["gauges"]["pipeline.runner.resumed"] == 1.0
+
+    def test_fresh_run_ignores_existing_checkpoints(
+        self, tmp_path, small_pois, small_trajectories, workload
+    ):
+        cc, mc, reference = workload
+        run_dir = tmp_path / "fresh"
+        PipelineRunner(run_dir, cc, mc, chunk_size=CHUNK).run(
+            small_pois, small_trajectories
+        )
+        # Corrupt the CSD checkpoint; a resume=False run must not read it.
+        (run_dir / CSD_ARTIFACT).write_text("{}", encoding="utf-8")
+        result = PipelineRunner(
+            run_dir, cc, mc, chunk_size=CHUNK, resume=False
+        ).run(small_pois, small_trajectories)
+        assert pattern_key(result.patterns) == pattern_key(
+            reference.patterns
+        )
+
+    def test_tampered_artifact_is_recomputed_not_trusted(
+        self, tmp_path, small_pois, small_trajectories, workload
+    ):
+        cc, mc, reference = workload
+        run_dir = tmp_path / "tampered"
+        PipelineRunner(run_dir, cc, mc, chunk_size=CHUNK).run(
+            small_pois, small_trajectories
+        )
+        # Truncate the recognition checkpoint: its SHA no longer matches
+        # the manifest, so resume must recompute instead of loading it.
+        (run_dir / RECOGNIZED_ARTIFACT).write_text(
+            "traj_id,order,lon,lat,t,semantics\n", encoding="utf-8"
+        )
+        result = PipelineRunner(
+            run_dir, cc, mc, chunk_size=CHUNK, resume=True
+        ).run(small_pois, small_trajectories)
+        assert pattern_key(result.patterns) == pattern_key(
+            reference.patterns
+        )
+
+
+class TestManifestGuards:
+    def test_config_change_refuses_resume(
+        self, tmp_path, small_pois, small_trajectories, workload
+    ):
+        cc, mc, _ = workload
+        run_dir = tmp_path / "guard"
+        PipelineRunner(run_dir, cc, mc, chunk_size=CHUNK).run(
+            small_pois, small_trajectories
+        )
+        other = MiningConfig(support=11, rho=0.001)
+        with pytest.raises(ValueError, match="different computation"):
+            PipelineRunner(
+                run_dir, cc, other, chunk_size=CHUNK, resume=True
+            ).run(small_pois, small_trajectories)
+
+    def test_input_change_refuses_resume(
+        self, tmp_path, small_pois, small_trajectories, workload
+    ):
+        cc, mc, _ = workload
+        run_dir = tmp_path / "guard-input"
+        PipelineRunner(run_dir, cc, mc, chunk_size=CHUNK).run(
+            small_pois, small_trajectories
+        )
+        with pytest.raises(ValueError, match="different computation"):
+            PipelineRunner(
+                run_dir, cc, mc, chunk_size=CHUNK, resume=True
+            ).run(small_pois, small_trajectories[:-1])
+
+    def test_manifest_is_strict_json_with_stage_records(
+        self, tmp_path, small_pois, small_trajectories, workload
+    ):
+        cc, mc, _ = workload
+        run_dir = tmp_path / "manifest"
+        PipelineRunner(run_dir, cc, mc, chunk_size=CHUNK).run(
+            small_pois, small_trajectories
+        )
+        text = (run_dir / MANIFEST_NAME).read_text(encoding="utf-8")
+        document = json.loads(text)
+        assert document["config_hash"] == config_hash(cc, mc, CHUNK)
+        assert document["input_digest"] == input_digest(
+            small_pois, small_trajectories
+        )
+        stages = document["stages"]
+        assert stages["constructor"]["status"] == "complete"
+        assert stages["constructor"]["artifact"] == CSD_ARTIFACT
+        assert stages["recognition"]["artifact"] == RECOGNIZED_ARTIFACT
+        assert stages["extraction"]["status"] == "complete"
+        # Round-trips through the parser.
+        manifest = parse_manifest(text)
+        assert manifest.matches(
+            config_hash(cc, mc, CHUNK),
+            input_digest(small_pois, small_trajectories),
+        )
+
+    def test_duplicate_traj_ids_rejected(self, tmp_path, small_pois):
+        sts = [
+            SemanticTrajectory(1, [StayPoint(121.0, 31.0, 0.0)]),
+            SemanticTrajectory(1, [StayPoint(121.1, 31.1, 1.0)]),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            PipelineRunner(tmp_path / "dup").run(small_pois, sts)
+
+    def test_unsorted_traj_ids_rejected(self, tmp_path, small_pois):
+        sts = [
+            SemanticTrajectory(2, [StayPoint(121.0, 31.0, 0.0)]),
+            SemanticTrajectory(1, [StayPoint(121.1, 31.1, 1.0)]),
+        ]
+        with pytest.raises(ValueError, match="sorted"):
+            PipelineRunner(tmp_path / "unsorted").run(small_pois, sts)
+
+
+class TestRetry:
+    def test_transient_write_failures_are_retried(
+        self, tmp_path, small_pois, small_trajectories, workload
+    ):
+        cc, mc, reference = workload
+        naps = []
+        flaky = FlakyFileSystem(fail_writes=3)
+        result = PipelineRunner(
+            tmp_path / "flaky",
+            cc,
+            mc,
+            chunk_size=CHUNK,
+            fs=flaky,
+            max_retries=3,
+            backoff_s=0.01,
+            sleep=naps.append,
+        ).run(small_pois, small_trajectories)
+        assert pattern_key(result.patterns) == pattern_key(
+            reference.patterns
+        )
+        # Exponential backoff: 0.01, 0.02, 0.04 for the three failures.
+        assert naps == [0.01, 0.02, 0.04]
+
+    def test_persistent_failure_raises_after_budget(self, tmp_path):
+        flaky = FlakyFileSystem(fail_writes=100)
+        with pytest.raises(OSError, match="injected"):
+            retry_with_backoff(
+                lambda: flaky.write_text(tmp_path / "x", "payload"),
+                max_retries=2,
+                backoff_s=0.0,
+                sleep=lambda s: None,
+            )
+        assert flaky.write_attempts == 3  # 1 try + 2 retries
+
+    def test_simulated_crash_is_not_retried(self, tmp_path):
+        flaky = FlakyFileSystem(crash_points={"p"})
+        attempts = []
+
+        def op():
+            attempts.append(1)
+            flaky.fault("p")
+
+        with pytest.raises(SimulatedCrash):
+            retry_with_backoff(op, max_retries=5, sleep=lambda s: None)
+        assert len(attempts) == 1
+
+    def test_fault_points_cover_every_stage(self):
+        assert [p for p in FAULT_POINTS if "constructor" in p]
+        assert [p for p in FAULT_POINTS if "recognition" in p]
+        assert [p for p in FAULT_POINTS if "extraction" in p]
+
+
+class TestQuarantinedRun:
+    def test_dirty_corpus_completes_with_quarantine(
+        self, tmp_path, small_pois, small_taxi, workload
+    ):
+        """The acceptance scenario: malformed rows quarantined + counted,
+        run completes, clean rows mine identically to a clean corpus."""
+        cc, mc, _ = workload
+        trips = small_taxi.trips[:300]
+        path = tmp_path / "trips.csv"
+        write_trips(path, trips)
+        with open(path, "a", newline="", encoding="utf-8") as f:
+            writer = csv.writer(f)
+            writer.writerow(  # bad float
+                [9001, "", "oops", 31.0, 0.0, 121.0, 31.0, 60.0, "R", "R"]
+            )
+            writer.writerow(  # negative dwell
+                [9002, "", 121.0, 31.0, 500.0, 121.0, 31.0, 100.0, "R", "R"]
+            )
+            writer.writerow(  # non-finite coordinate
+                [9003, "", 121.0, "inf", 0.0, 121.0, 31.0, 60.0, "R", "R"]
+            )
+
+        reg = MetricsRegistry(enabled=True)
+        old = obs.set_registry(reg)
+        try:
+            with Quarantine(tmp_path / "quarantine.csv") as quarantine:
+                ingested = list(
+                    iter_trips(path, on_bad_row=quarantine.sink("trips"))
+                )
+                trajectories = trips_to_mining_trajectories(ingested)
+                result = PipelineRunner(
+                    tmp_path / "dirty", cc, mc, chunk_size=CHUNK
+                ).run(small_pois, trajectories)
+        finally:
+            obs.set_registry(old)
+
+        assert [t.trip_id for t in ingested] == [
+            t.trip_id for t in trips
+        ]
+        assert quarantine.count == 3
+        snapshot = reg.snapshot()
+        assert snapshot["counters"]["ingest.quarantined"] == 3
+        assert snapshot["counters"]["ingest.rows"] == len(trips) + 3
+
+        clean = trips_to_mining_trajectories(trips)
+        reference = PervasiveMiner(cc, mc).mine(small_pois, clean)
+        assert pattern_key(result.patterns) == pattern_key(
+            reference.patterns
+        )
+
+        rows = list(
+            csv.DictReader(
+                open(tmp_path / "quarantine.csv", encoding="utf-8")
+            )
+        )
+        assert [r["row_number"] for r in rows] == [
+            str(len(trips) + 1),
+            str(len(trips) + 2),
+            str(len(trips) + 3),
+        ]
+        assert "invalid float" in rows[0]["reason"]
+        assert "negative dwell" in rows[1]["reason"]
+        assert "non-finite" in rows[2]["reason"]
+
+    def test_clean_run_leaves_no_quarantine_file(self, tmp_path, small_taxi):
+        path = tmp_path / "trips.csv"
+        write_trips(path, small_taxi.trips[:50])
+        with Quarantine(tmp_path / "quarantine.csv") as quarantine:
+            trips = list(
+                iter_trips(path, on_bad_row=quarantine.sink("trips"))
+            )
+        assert len(trips) == 50
+        assert quarantine.count == 0
+        assert not (tmp_path / "quarantine.csv").exists()

@@ -80,3 +80,42 @@ class TestDetection:
             StayPointConfig(theta_d_m=0.0)
         with pytest.raises(ValueError):
             StayPointConfig(theta_t_s=-5.0)
+
+
+class TestTimestampValidation:
+    """Out-of-order clocks are corruption, not a silent no-op (a
+    negative dwell can never satisfy theta_t, so before validation such
+    tracks just produced no stays)."""
+
+    def test_out_of_order_timestamps_raise(self):
+        pts = [
+            GPSPoint(0.0, 0.0, 100.0),
+            GPSPoint(0.0, 0.0, 50.0),   # clock goes backwards
+            GPSPoint(0.0, 0.0, 200.0),
+        ]
+        with pytest.raises(ValueError, match="out of order"):
+            detect_stay_points(Trajectory(7, pts))
+
+    def test_error_names_trajectory_and_point(self):
+        pts = [GPSPoint(0.0, 0.0, 10.0), GPSPoint(0.0, 0.0, 5.0)]
+        with pytest.raises(ValueError, match=r"trajectory 42.*point 1"):
+            detect_stay_points(Trajectory(42, pts))
+
+    def test_duplicate_timestamps_are_legal(self):
+        """Two fixes in the same second: dwell maths stays defined."""
+        config = StayPointConfig(theta_d_m=200.0, theta_t_s=1200.0)
+        pts = [GPSPoint(0.0, 0.0, 0.0), GPSPoint(0.0, 0.0, 0.0)]
+        pts += [GPSPoint(0.0, 0.0, t * 300.0) for t in range(1, 7)]
+        stays = detect_stay_points(Trajectory(0, pts), config)
+        assert len(stays) == 1
+
+    def test_all_duplicate_timestamps_no_dwell(self):
+        """Zero elapsed time can never satisfy a positive theta_t."""
+        config = StayPointConfig(theta_d_m=200.0, theta_t_s=1200.0)
+        pts = [GPSPoint(0.0, 0.0, 0.0)] * 5
+        assert detect_stay_points(Trajectory(0, pts), config) == []
+
+    def test_to_semantic_trajectory_propagates_validation(self):
+        pts = [GPSPoint(0.0, 0.0, 10.0), GPSPoint(0.0, 0.0, 5.0)]
+        with pytest.raises(ValueError, match="out of order"):
+            to_semantic_trajectory(Trajectory(3, pts))

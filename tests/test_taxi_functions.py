@@ -3,6 +3,7 @@
 from repro.data.taxi import (
     SECONDS_PER_DAY,
     TaxiTrip,
+    group_card_trips_by_day,
     link_trips_by_day,
     trips_to_mining_trajectories,
 )
@@ -75,3 +76,42 @@ class TestMiningCorpus:
 
     def test_empty(self):
         assert trips_to_mining_trajectories([]) == []
+
+
+class TestSharedGrouping:
+    """linked_trajectories and linked_truths derive from one grouping
+    helper; these tests pin the index-parallel guarantee."""
+
+    def test_group_card_trips_by_day_canonical_order(self):
+        trips = [
+            trip(0, 2, 0, 18.0), trip(1, 1, 0, 8.0),
+            trip(2, 2, 0, 8.0), trip(3, 1, 1, 8.0),
+        ]
+        groups = group_card_trips_by_day(trips)
+        # Groups sorted by (passenger, day); trips by pickup time.
+        assert [[t.trip_id for t in g] for g in groups] == [[1], [3], [2, 0]]
+
+    def test_anonymous_trips_excluded(self):
+        trips = [trip(0, None, 0, 8.0), trip(1, 4, 0, 8.0)]
+        groups = group_card_trips_by_day(trips)
+        assert [[t.trip_id for t in g] for g in groups] == [[1]]
+
+    def test_trajectories_and_truths_index_parallel(self, small_taxi):
+        """Each truth must describe the stay point at the same index of
+        the same-ranked trajectory — the guarantee that used to rest on
+        two hand-synchronised copies of the grouping logic."""
+        linked = small_taxi.linked_trajectories()
+        truths = small_taxi.linked_truths()
+        assert len(linked) == len(truths)
+        groups = [
+            g for g in group_card_trips_by_day(small_taxi.trips)
+            if 2 * len(g) >= 3
+        ]
+        assert len(groups) == len(linked)
+        for st, tr, day_trips in zip(linked, truths, groups):
+            assert len(st.stay_points) == len(tr) == 2 * len(day_trips)
+            for k, t in enumerate(day_trips):
+                assert st.stay_points[2 * k] == t.pickup
+                assert st.stay_points[2 * k + 1] == t.dropoff
+                assert tr[2 * k] == t.pickup_truth
+                assert tr[2 * k + 1] == t.dropoff_truth
