@@ -54,7 +54,7 @@ def detect_rois(
         raise ValueError("min_visits must be at least 1")
     counts: Dict[Tuple[int, int], int] = defaultdict(int)
     sums: Dict[Tuple[int, int], Float64Array] = defaultdict(
-        lambda: np.zeros(2)
+        lambda: np.zeros(2, dtype=np.float64)
     )
     for x, y in np.asarray(stay_xy, dtype=float).reshape(-1, 2):
         key = (int(np.floor(x / cell_m)), int(np.floor(y / cell_m)))
@@ -82,7 +82,7 @@ def detect_rois(
                     roi_of[neighbour] = len(rois)
                     stack.append(neighbour)
         visits = sum(counts[c] for c in component)
-        centroid = sum((sums[c] for c in component), np.zeros(2)) / visits
+        centroid = sum((sums[c] for c in component), np.zeros(2, dtype=np.float64)) / visits
         rois.append(
             RegionOfInterest(
                 roi_id=len(rois),

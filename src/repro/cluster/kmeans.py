@@ -30,7 +30,7 @@ def kmeans(
     if k < 1:
         raise ValueError("k must be at least 1")
     if n == 0:
-        return np.empty(0, dtype=np.int64), np.empty((0, 2))
+        return np.empty(0, dtype=np.int64), np.empty((0, 2), dtype=np.float64)
     k = min(k, len(np.unique(pts, axis=0)))
     rng = np.random.default_rng(seed)
 
@@ -55,7 +55,7 @@ def _kmeanspp_init(
     pts: MetersArray, k: int, rng: np.random.Generator
 ) -> Float64Array:
     n = len(pts)
-    centres = np.empty((k, 2))
+    centres = np.empty((k, 2), dtype=np.float64)
     centres[0] = pts[int(rng.integers(n))]
     d2 = ((pts - centres[0]) ** 2).sum(axis=1)
     for c in range(1, k):

@@ -33,7 +33,7 @@ def mean_shift(
     if bandwidth <= 0:
         raise ValueError("bandwidth must be positive")
     if n == 0:
-        return np.empty(0, dtype=np.int64), np.empty((0, 2))
+        return np.empty(0, dtype=np.int64), np.empty((0, 2), dtype=np.float64)
     if index is None:
         index = GridIndex(pts, cell_size=bandwidth)
 

@@ -57,8 +57,8 @@ def optics(
     n = len(pts)
     if min_pts < 1:
         raise ValueError("min_pts must be at least 1")
-    reach = np.full(n, _INF)
-    core = np.full(n, _INF)
+    reach = np.full(n, _INF, dtype=np.float64)
+    core = np.full(n, _INF, dtype=np.float64)
     ordering = np.empty(n, dtype=np.int64)
     if n == 0:
         return OpticsResult(ordering, reach, core)

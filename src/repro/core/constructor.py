@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.contracts import ArraySpec, array_contract
 from repro.core.config import CSDConfig
 from repro.core.csd import UNASSIGNED, CitySemanticDiagram, SemanticUnit, project_pois
 from repro.core.merging import merge_units, unit_distribution
@@ -31,6 +32,12 @@ from repro.obs import get_registry
 from repro.types import Float64Array, MetersArray
 
 
+@array_contract(
+    poi_xy=ArraySpec(dtype="float64", cols=2, coerced=True),
+    popularity=ArraySpec(
+        dtype="float64", ndim=1, finite=True, same_length_as="poi_xy"
+    ),
+)
 def popularity_based_clustering(
     poi_xy: MetersArray,
     poi_tags: Sequence[str],

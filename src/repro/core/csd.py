@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.contracts import ArraySpec, CSRSpec, array_contract
 from repro.data.poi import POI, poi_lonlat_array
 from repro.data.trajectory import SemanticProperty
 from repro.geo.index import GridIndex
@@ -91,10 +92,15 @@ class CitySemanticDiagram:
 
     # -- queries -------------------------------------------------------
 
+    @array_contract(ret=ArraySpec(dtype="int64", ndim=1))
     def range_query(self, x: float, y: float, radius: float) -> IndexArray:
         """POI indices within ``radius`` metres of ``(x, y)`` (metres)."""
         return self._index.query_radius(x, y, radius)
 
+    @array_contract(
+        xy=ArraySpec(dtype="float64", cols=2, coerced=True),
+        ret=CSRSpec(centers="xy"),
+    )
     def range_query_many(self, xy: MetersArray, radius: float) -> CSRQuery:
         """Batched :meth:`range_query` over ``(m, 2)`` centres.
 
@@ -132,12 +138,14 @@ class CitySemanticDiagram:
 
     # -- summaries --------------------------------------------------------
 
+    @array_contract(ret=ArraySpec(dtype="int64", ndim=1))
     def unit_sizes(self) -> IndexArray:
         return np.array([len(u) for u in self.units], dtype=np.int64)
 
+    @array_contract(ret=ArraySpec(dtype="float64", ndim=1, finite=True))
     def unit_purities(self) -> Float64Array:
         """Max tag share per unit; 1.0 means single-semantic."""
-        out = np.empty(len(self.units))
+        out = np.empty(len(self.units), dtype=np.float64)
         for i, u in enumerate(self.units):
             if not u.semantic_distribution:
                 out[i] = 0.0
@@ -145,9 +153,10 @@ class CitySemanticDiagram:
                 out[i] = max(u.semantic_distribution.values())
         return out
 
+    @array_contract(ret=ArraySpec(dtype="float64", ndim=1, finite=True))
     def unit_variances(self) -> Float64Array:
         """Spatial variance (Eq. 1) per unit, square metres."""
-        out = np.empty(len(self.units))
+        out = np.empty(len(self.units), dtype=np.float64)
         for i, u in enumerate(self.units):
             out[i] = spatial_variance(self.poi_xy[u.poi_indices])
         return out
@@ -169,6 +178,7 @@ class CitySemanticDiagram:
         }
 
 
+@array_contract(ret=ArraySpec(dtype="float64", cols=2, item=1))
 def project_pois(
     pois: Sequence[POI], projection: Optional[LocalProjection] = None
 ) -> Tuple[LocalProjection, MetersArray]:

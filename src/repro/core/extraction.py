@@ -164,7 +164,7 @@ def _refine_coarse_pattern(
     # Matched stay points and their metre coordinates, per position k.
     stays: List[List[StayPoint]] = []
     xy: List[MetersArray] = []
-    times = np.empty((n_occ, m))
+    times = np.empty((n_occ, m), dtype=np.float64)
     for k in range(m):
         column = [
             database[seq_idx][positions[k]]

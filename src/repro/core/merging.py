@@ -15,10 +15,14 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.contracts import ArraySpec, array_contract
 from repro.geo.index import GridIndex
 from repro.types import Float64Array, MetersArray
 
 
+@array_contract(
+    popularity=ArraySpec(dtype="float64", ndim=1, finite=True, same_length_as="tags")
+)
 def unit_distribution(
     members: Sequence[int], tags: Sequence[str], popularity: Float64Array
 ) -> Dict[str, float]:
@@ -104,6 +108,12 @@ def _nearby_pairs(
     return [(int(a), int(b)) for a, b in pairs]
 
 
+@array_contract(
+    poi_xy=ArraySpec(dtype="float64", cols=2, coerced=True),
+    popularity=ArraySpec(
+        dtype="float64", ndim=1, finite=True, same_length_as="poi_xy"
+    ),
+)
 def merge_units(
     units: List[List[int]],
     leftovers: Sequence[int],

@@ -12,11 +12,19 @@ from typing import Optional
 
 import numpy as np
 
+from repro.contracts import ArraySpec, array_contract
 from repro.geo.distance import gaussian_coefficients
 from repro.geo.index import GridIndex
 from repro.types import Float64Array, MetersArray
 
 
+@array_contract(
+    poi_xy=ArraySpec(dtype="float64", cols=2, coerced=True),
+    stay_xy=ArraySpec(dtype="float64", cols=2, coerced=True),
+    ret=ArraySpec(
+        dtype="float64", ndim=1, finite=True, same_length_as="poi_xy"
+    ),
+)
 def compute_popularity(
     poi_xy: MetersArray,
     stay_xy: MetersArray,
@@ -40,7 +48,7 @@ def compute_popularity(
     stays = np.asarray(stay_xy, dtype=float).reshape(-1, 2)
     if r3sigma <= 0:
         raise ValueError("r3sigma must be positive")
-    pop = np.zeros(len(pois))
+    pop = np.zeros(len(pois), dtype=np.float64)
     if len(stays) == 0 or len(pois) == 0:
         return pop
     if stay_index is None:
@@ -53,7 +61,7 @@ def compute_popularity(
     hit_idx, offsets = stay_index.query_radius_many(pois, r3sigma)
     if len(hit_idx) == 0:
         return pop
-    poi_of = np.repeat(np.arange(len(pois)), np.diff(offsets))
+    poi_of = np.repeat(np.arange(len(pois), dtype=np.int64), np.diff(offsets))
     d = np.sqrt(((stays[hit_idx] - pois[poi_of]) ** 2).sum(axis=1))
     weights = gaussian_coefficients(d, r3sigma)
     return np.bincount(poi_of, weights=weights, minlength=len(pois))

@@ -104,7 +104,8 @@ def purify(
         ref = medoid_index(xy)
         support = sorted(set(ctags))
         kl = np.array(
-            [kl_divergence(dists[k], dists[ref], support) for k in range(len(cluster))]
+            [kl_divergence(dists[k], dists[ref], support) for k in range(len(cluster))],
+            dtype=np.float64,
         )
         median = float(np.median(kl))
         moved = [cluster[k] for k in range(len(cluster)) if kl[k] > median]

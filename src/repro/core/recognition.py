@@ -22,6 +22,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.contracts import SameLength, array_contract
 from repro.core.csd import UNASSIGNED, CitySemanticDiagram
 from repro.data.trajectory import (
     NO_SEMANTICS,
@@ -71,6 +72,7 @@ class CSDRecognizer:
         """
         return self.recognize_points([sp])[0]
 
+    @array_contract(ret=SameLength(of="stay_points"))
     def recognize_points(
         self, stay_points: Sequence[StayPoint]
     ) -> List[SemanticProperty]:
@@ -123,7 +125,7 @@ class CSDRecognizer:
         hit_idx, offsets = self.csd.range_query_many(xy, self.r3sigma_m)
         if len(hit_idx) == 0:
             return out
-        stay_of = np.repeat(np.arange(n), np.diff(offsets))
+        stay_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(offsets))
         unit_ids = self.csd.unit_of[hit_idx]
         keep = unit_ids != UNASSIGNED
         if not keep.any():
@@ -195,7 +197,7 @@ class CSDRecognizer:
         if n_jobs == 1 or len(flat) < n_jobs * _MIN_STAYS_PER_JOB:
             props = self.recognize_points(flat)
         else:
-            bounds = np.linspace(0, len(flat), n_jobs + 1).astype(int)
+            bounds = np.linspace(0, len(flat), n_jobs + 1).astype(np.int64)
             chunks = [
                 flat[bounds[i] : bounds[i + 1]] for i in range(n_jobs)
             ]

@@ -164,8 +164,10 @@ class CheckinSimulator:
         rng = np.random.default_rng(self.seed)
         topics = list(self.profile.topics)
         mix = self.profile.activity_mix()
-        weights = np.array([mix[t] for t in topics])
-        share = np.array([self.profile.topics[t][1] for t in topics])
+        weights = np.array([mix[t] for t in topics], dtype=np.float64)
+        share = np.array(
+            [self.profile.topics[t][1] for t in topics], dtype=np.float64
+        )
 
         draws = rng.choice(len(topics), size=n_activities, p=weights)
         shared = rng.random(n_activities) < share[draws]

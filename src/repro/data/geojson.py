@@ -45,7 +45,7 @@ def _convex_hull(xy: LonLatArray) -> LonLatArray:
         while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
             upper.pop()
         upper.append(p)
-    return np.asarray(lower[:-1] + upper[:-1])
+    return np.asarray(lower[:-1] + upper[:-1], dtype=np.float64)
 
 
 def csd_to_geojson(csd: CitySemanticDiagram, min_unit_size: int = 3) -> dict:
@@ -56,7 +56,8 @@ def csd_to_geojson(csd: CitySemanticDiagram, min_unit_size: int = 3) -> dict:
     features = []
     for unit in csd.units:
         lonlat = np.array(
-            [[csd.pois[i].lon, csd.pois[i].lat] for i in unit.poi_indices]
+            [[csd.pois[i].lon, csd.pois[i].lat] for i in unit.poi_indices],
+            dtype=np.float64,
         )
         properties = {
             "unit_id": unit.unit_id,

@@ -17,6 +17,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.contracts import ArraySpec, array_contract
 from repro.core.csd import CitySemanticDiagram, SemanticUnit
 from repro.data.poi import POI
 from repro.geo.projection import LocalProjection
@@ -27,6 +28,7 @@ PathLike = Union[str, Path]
 FORMAT_VERSION = 1
 
 
+@array_contract(csd=ArraySpec(dtype="int64", ndim=1, attr="unit_of"))
 def save_csd(path: PathLike, csd: CitySemanticDiagram) -> None:
     """Serialise a diagram to JSON.
 
@@ -75,6 +77,12 @@ def save_csd(path: PathLike, csd: CitySemanticDiagram) -> None:
         json.dump(document, f, allow_nan=False)
 
 
+@array_contract(
+    ret=[
+        ArraySpec(dtype="int64", ndim=1, attr="unit_of"),
+        ArraySpec(dtype="float64", ndim=1, finite=True, attr="popularity"),
+    ]
+)
 def load_csd(path: PathLike) -> CitySemanticDiagram:
     """Reconstruct a diagram saved by :func:`save_csd`.
 

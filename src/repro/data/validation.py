@@ -175,7 +175,7 @@ def _check_poi_density(
 def _check_lengths(
     trajectories: Sequence[SemanticTrajectory], report: ValidationReport
 ) -> None:
-    lengths = np.array([len(st) for st in trajectories])
+    lengths = np.array([len(st) for st in trajectories], dtype=np.int64)
     short = int((lengths < 2).sum())
     if short:
         report._add(

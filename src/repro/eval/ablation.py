@@ -65,7 +65,7 @@ def build_csd_ablated(
         popularity = compute_popularity(poi_xy, stay_xy, config.r3sigma_m)
     else:
         index = GridIndex(stay_xy, cell_size=config.r3sigma_m) if len(stay_xy) else None
-        popularity = np.zeros(len(pois))
+        popularity = np.zeros(len(pois), dtype=np.float64)
         if index is not None:
             for i, (x, y) in enumerate(poi_xy):
                 popularity[i] = index.count_within(x, y, config.r3sigma_m)

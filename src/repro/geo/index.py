@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import ArraySpec, CSRSpec, array_contract
 from repro.obs import get_registry
 from repro.types import CSRQuery, IndexArray, MetersArray
 
@@ -63,8 +64,8 @@ class GridIndex:
             self._codes = codes[self._order]
             # Contiguous per-axis copies: 1-D gathers are markedly
             # faster than row gathers on the (n, 2) layout.
-            self._xs = np.ascontiguousarray(self._xy[self._order, 0])
-            self._ys = np.ascontiguousarray(self._xy[self._order, 1])
+            self._xs = np.ascontiguousarray(self._xy[self._order, 0], dtype=np.float64)
+            self._ys = np.ascontiguousarray(self._xy[self._order, 1], dtype=np.float64)
             self._n_cells = int(np.count_nonzero(np.diff(self._codes))) + 1
         else:
             self._gx_lo = self._gx_hi = self._gy_lo = self._gy_hi = 0
@@ -90,6 +91,7 @@ class GridIndex:
         """Number of grid cells holding at least one point."""
         return self._n_cells
 
+    @array_contract(ret=ArraySpec(dtype="int64", ndim=1))
     def query_radius(self, x: float, y: float, radius: float) -> IndexArray:
         """Indices of points within ``radius`` metres of ``(x, y)``.
 
@@ -103,6 +105,10 @@ class GridIndex:
         )
         return indices
 
+    @array_contract(
+        centers=ArraySpec(dtype="float64", cols=2, coerced=True),
+        ret=CSRSpec(centers="centers"),
+    )
     def query_radius_many(self, centers: MetersArray, radius: float) -> CSRQuery:
         """Batched circular range query in CSR form.
 
@@ -199,8 +205,8 @@ class GridIndex:
         )
         per_center = lengths.reshape(m, -1).sum(axis=1)
         cid = np.repeat(np.arange(m, dtype=np.int64), per_center)
-        cx = np.ascontiguousarray(ctr[:, 0])
-        cy = np.ascontiguousarray(ctr[:, 1])
+        cx = np.ascontiguousarray(ctr[:, 0], dtype=np.float64)
+        cy = np.ascontiguousarray(ctr[:, 1], dtype=np.float64)
         dx = self._xs[pos] - cx[cid]
         dy = self._ys[pos] - cy[cid]
         keep = dx * dx + dy * dy <= radius * radius
@@ -244,6 +250,7 @@ class GridIndex:
         """Number of indexed points within ``radius`` of ``(x, y)``."""
         return int(len(self.query_radius(x, y, radius)))
 
+    @array_contract(ret=ArraySpec(dtype="int64", ndim=1))
     def nearest(self, x: float, y: float, k: int = 1) -> IndexArray:
         """Indices of the ``k`` nearest points, closest first.
 

@@ -15,6 +15,7 @@ from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
+from repro.contracts import ArraySpec, array_contract
 from repro.geo.distance import EARTH_RADIUS_M
 from repro.types import LonLat, LonLatArray, MetersArray, MetersXY
 
@@ -58,6 +59,10 @@ class LocalProjection:
         lat = self.origin_lat + y / self._m_per_deg_lat
         return lon, lat
 
+    @array_contract(
+        lonlat=ArraySpec(dtype="float64", cols=2, coerced=True),
+        ret=ArraySpec(dtype="float64", cols=2, same_length_as="lonlat"),
+    )
     def to_meters_array(self, lonlat: Sequence[LonLat]) -> MetersArray:
         """Project an ``(n, 2)`` lon/lat array to an ``(n, 2)`` metre array."""
         arr = np.asarray(lonlat, dtype=float)
@@ -68,6 +73,10 @@ class LocalProjection:
         out[:, 1] = (arr[:, 1] - self.origin_lat) * self._m_per_deg_lat
         return out
 
+    @array_contract(
+        xy=ArraySpec(dtype="float64", cols=2, coerced=True),
+        ret=ArraySpec(dtype="float64", cols=2, same_length_as="xy"),
+    )
     def to_lonlat_array(self, xy: Sequence[MetersXY]) -> LonLatArray:
         """Invert :meth:`to_meters_array`."""
         arr = np.asarray(xy, dtype=float)

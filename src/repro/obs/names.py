@@ -1,0 +1,161 @@
+"""Central registry of every observability metric and span name.
+
+Metric names are part of the pipeline's public contract: dashboards,
+the bench harness, and ``docs/OBSERVABILITY.md`` all key on them, so a
+typo at an instrumentation site ("recogniton.batches") silently forks
+the catalogue.  This module is the single source of truth:
+
+* every ``counter``/``gauge``/``histogram``/``timer`` call site in
+  ``src/repro`` must pass a string literal that appears in the matching
+  set below (reprolint rule **RPL008** checks this statically);
+* every name below must appear in ``docs/OBSERVABILITY.md`` and every
+  metric-like name in that doc's catalogue must appear here (reprolint
+  rule **RPL010**, the docs-drift gate).
+
+The sets are plain literals on purpose: reprolint's cross-module pass
+reads them from the AST without importing this package, so the linter
+stays stdlib-only and import-cycle-free.  When adding a metric, add the
+literal here, use the same literal at the call site, and document it in
+``docs/OBSERVABILITY.md`` — the gates fail until all three agree.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+__all__ = [
+    "COUNTERS",
+    "GAUGES",
+    "HISTOGRAMS",
+    "TIMERS",
+    "SPAN_LABELS",
+    "SPAN_NAMES",
+    "METRIC_NAMES",
+    "DOCUMENTED_NAMES",
+    "metric_kind",
+]
+
+#: Monotone event counts.
+COUNTERS: FrozenSet[str] = frozenset(
+    {
+        "constructor.pois.total",
+        "constructor.pois.clustered",
+        "constructor.pois.leftover",
+        "constructor.pois.purified",
+        "constructor.pois.merged",
+        "constructor.units.coarse",
+        "constructor.units.pure",
+        "constructor.units.final",
+        "contracts.checks",
+        "contracts.violations",
+        "extraction.sequences.mined",
+        "extraction.patterns.coarse",
+        "extraction.patterns.emitted",
+        "extraction.patterns.pruned",
+        "extraction.supporters.dropped_temporal",
+        "geo.index.queries",
+        "geo.index.centers",
+        "geo.index.candidates",
+        "geo.index.hits",
+        "incremental.distribution.computations",
+        "incremental.distribution.cache_hits",
+        "ingest.rows",
+        "ingest.quarantined",
+        "pipeline.runner.chunks",
+        "pipeline.runner.stages.run",
+        "pipeline.runner.stages.skipped",
+        "pipeline.runner.checkpoint.retries",
+        "prefixspan.sequences.mined",
+        "prefixspan.patterns.emitted",
+        "prefixspan.candidates.pruned",
+        "prefixspan.nodes.expanded",
+        "recognition.batches",
+        "recognition.stays.recognized",
+        "recognition.stays.unmatched",
+        "recognition.votes.cast",
+    }
+)
+
+#: Point-in-time levels.
+GAUGES: FrozenSet[str] = frozenset(
+    {
+        "incremental.added",
+        "incremental.pending",
+        "incremental.staleness",
+        "pipeline.runner.resumed",
+        "pipeline.runner.recognition.progress",
+    }
+)
+
+#: Bucketed distributions.
+HISTOGRAMS: FrozenSet[str] = frozenset(
+    {
+        "recognition.batch_latency_s",
+        "recognition.batch_size",
+    }
+)
+
+#: Plain (non-span) timer aggregates.
+TIMERS: FrozenSet[str] = frozenset(
+    {
+        "constructor.popularity",
+        "constructor.clustering",
+        "constructor.purification",
+        "constructor.merging",
+        "extraction.prefixspan",
+        "extraction.refinement",
+        "recognition.batch",
+        "pipeline.runner.checkpoint",
+    }
+)
+
+#: Labels passed to ``registry.span(...)`` at call sites.  Spans nest,
+#: so the label is only the leaf segment; the dotted names that land in
+#: snapshots are in :data:`SPAN_NAMES`.
+SPAN_LABELS: FrozenSet[str] = frozenset(
+    {
+        "pipeline",
+        "pipeline.runner",
+        "constructor",
+        "recognition",
+        "extraction",
+    }
+)
+
+#: Fully-qualified span names as they appear in metric snapshots (the
+#: dotted join of the open span stack).
+SPAN_NAMES: FrozenSet[str] = frozenset(
+    {
+        "pipeline",
+        "pipeline.constructor",
+        "pipeline.recognition",
+        "pipeline.extraction",
+        "pipeline.runner",
+        "pipeline.runner.constructor",
+        "pipeline.runner.recognition",
+        "pipeline.runner.extraction",
+    }
+)
+
+#: Every name a ``counter``/``gauge``/``histogram``/``timer`` call may use.
+METRIC_NAMES: FrozenSet[str] = COUNTERS | GAUGES | HISTOGRAMS | TIMERS
+
+#: Every name ``docs/OBSERVABILITY.md`` must list (RPL010).
+DOCUMENTED_NAMES: FrozenSet[str] = METRIC_NAMES | SPAN_NAMES
+
+
+def metric_kind(name: str) -> Optional[str]:
+    """The registered kind of ``name`` (``"counter"``, ``"gauge"``,
+    ``"histogram"``, ``"timer"``, ``"span"``), or ``None`` if the name
+    is not registered anywhere."""
+    if name in COUNTERS:
+        return "counter"
+    if name in GAUGES:
+        return "gauge"
+    if name in HISTOGRAMS:
+        return "histogram"
+    if name in TIMERS:
+        return "timer"
+    if name in SPAN_LABELS or name in SPAN_NAMES:
+        return "span"
+    return None

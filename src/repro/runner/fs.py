@@ -148,7 +148,6 @@ def retry_with_backoff(
     max_retries: int = 3,
     backoff_s: float = 0.05,
     sleep: Callable[[float], None] = time.sleep,
-    metric: str = "pipeline.runner.checkpoint.retries",
 ) -> T:
     """Run ``operation``, retrying ``OSError`` with exponential backoff.
 
@@ -156,7 +155,8 @@ def retry_with_backoff(
     2**attempt`` between attempts; the last failure propagates.  Only
     ``OSError`` (transient I/O) is retried — :class:`SimulatedCrash`
     and everything else escape immediately.  ``sleep`` is injectable so
-    tests run instantly.  Each retry increments ``metric`` on the
+    tests run instantly.  Each retry increments the
+    ``pipeline.runner.checkpoint.retries`` counter on the
     :mod:`repro.obs` registry.
     """
     if max_retries < 0:
@@ -168,6 +168,6 @@ def retry_with_backoff(
         except OSError:
             if attempt >= max_retries:
                 raise
-            get_registry().counter(metric).inc()
+            get_registry().counter("pipeline.runner.checkpoint.retries").inc()
             sleep(backoff_s * (2.0 ** attempt))
             attempt += 1

@@ -35,6 +35,7 @@ import time
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
 
+from repro.contracts import ArraySpec, array_contract
 from repro.core.config import CSDConfig, MiningConfig
 from repro.core.csd import CitySemanticDiagram
 from repro.core.miner import MiningResult, PervasiveMiner
@@ -237,6 +238,14 @@ class PipelineRunner:
 
     # -- public API ----------------------------------------------------
 
+    @array_contract(
+        ret=[
+            ArraySpec(dtype="int64", ndim=1, attr="csd.unit_of"),
+            ArraySpec(
+                dtype="float64", ndim=1, finite=True, attr="csd.popularity"
+            ),
+        ]
+    )
     def run(
         self,
         pois: Sequence[POI],

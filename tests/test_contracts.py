@@ -1,0 +1,333 @@
+"""Unit tests for repro.contracts — the runtime array-contract sanitizer.
+
+The decorator must be a literal no-op by default (same function object
+back, zero per-call overhead) and a strict validator when enforcement
+is on.  Tests force enforcement with ``enforce=True`` so they are
+independent of the ``REPRO_SANITIZE`` environment.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.contracts import (
+    ArraySpec,
+    CSRSpec,
+    ContractViolation,
+    SameLength,
+    array_contract,
+    sanitize_enabled,
+)
+from repro.obs import MetricsRegistry
+
+
+class TestDisabledMode:
+    def test_returns_the_same_function_object(self):
+        def f(x):
+            return x
+
+        decorated = array_contract(
+            x=ArraySpec(dtype="float64"), enforce=False
+        )(f)
+        assert decorated is f
+
+    def test_contract_attached_for_introspection(self):
+        @array_contract(x=ArraySpec(dtype="int64", ndim=1), enforce=False)
+        def f(x):
+            return x
+
+        contract = f.__array_contract__
+        assert contract.params["x"].dtype == "int64"
+        assert contract.enforced is False
+
+    def test_no_validation_happens(self):
+        @array_contract(x=ArraySpec(dtype="int64", ndim=1), enforce=False)
+        def f(x):
+            return x
+
+        # Wrong dtype sails through: disabled means disabled.
+        assert f("not an array") == "not an array"
+
+    def test_sanitize_enabled_reads_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert sanitize_enabled() is False
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_enabled() is True
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert sanitize_enabled() is False
+
+
+class TestDecorationTimeErrors:
+    """Drifted contracts fail at import, in both modes."""
+
+    @pytest.mark.parametrize("enforce", [False, True])
+    def test_unknown_parameter_rejected(self, enforce):
+        with pytest.raises(TypeError, match="unknown parameter 'y'"):
+
+            @array_contract(y=ArraySpec(dtype="float64"), enforce=enforce)
+            def f(x):
+                return x
+
+    @pytest.mark.parametrize("enforce", [False, True])
+    def test_dangling_coupling_rejected(self, enforce):
+        with pytest.raises(TypeError, match="couples to unknown parameter"):
+
+            @array_contract(
+                x=ArraySpec(dtype="float64", same_length_as="ghost"),
+                enforce=enforce,
+            )
+            def f(x):
+                return x
+
+    def test_platform_dependent_spec_dtype_rejected(self):
+        with pytest.raises(TypeError, match="not canonical"):
+            ArraySpec(dtype="int")
+
+
+class TestArraySpecEnforcement:
+    def test_strict_dtype_mismatch_raises(self):
+        @array_contract(x=ArraySpec(dtype="int64", ndim=1), enforce=True)
+        def f(x):
+            return x
+
+        f(np.zeros(3, dtype=np.int64))
+        with pytest.raises(ContractViolation, match="int32 violates"):
+            f(np.zeros(3, dtype=np.int32))
+
+    def test_strict_requires_ndarray(self):
+        @array_contract(x=ArraySpec(dtype="float64"), enforce=True)
+        def f(x):
+            return x
+
+        with pytest.raises(ContractViolation, match="expected ndarray"):
+            f([1.0, 2.0])
+
+    def test_coerced_accepts_lists(self):
+        @array_contract(
+            x=ArraySpec(dtype="float64", cols=2, coerced=True), enforce=True
+        )
+        def f(x):
+            return np.asarray(x, dtype=np.float64).reshape(-1, 2)
+
+        assert f([(0.0, 1.0), (2.0, 3.0)]).shape == (2, 2)
+
+    def test_coerced_rejects_unreshapeable(self):
+        @array_contract(
+            x=ArraySpec(dtype="float64", cols=2, coerced=True), enforce=True
+        )
+        def f(x):
+            return x
+
+        with pytest.raises(ContractViolation, match="does not reshape"):
+            f(np.zeros(3))
+
+    def test_ndim_mismatch(self):
+        @array_contract(x=ArraySpec(dtype="float64", ndim=1), enforce=True)
+        def f(x):
+            return x
+
+        with pytest.raises(ContractViolation, match="ndim 2"):
+            f(np.zeros((2, 2)))
+
+    def test_finiteness(self):
+        @array_contract(
+            ret=ArraySpec(dtype="float64", ndim=1, finite=True), enforce=True
+        )
+        def f(bad):
+            return np.array([0.0, np.nan, 1.0]) if bad else np.zeros(2)
+
+        f(False)
+        with pytest.raises(ContractViolation, match="non-finite"):
+            f(True)
+
+    def test_shape_coupling_between_arg_and_return(self):
+        @array_contract(
+            x=ArraySpec(dtype="float64", cols=2, coerced=True),
+            ret=ArraySpec(dtype="float64", ndim=1, same_length_as="x"),
+            enforce=True,
+        )
+        def f(x, short):
+            n = np.asarray(x, dtype=np.float64).reshape(-1, 2).shape[0]
+            return np.zeros(n - 1 if short else n, dtype=np.float64)
+
+        f(np.zeros((3, 2)), short=False)
+        with pytest.raises(ContractViolation, match="declared shape coupling"):
+            f(np.zeros((3, 2)), short=True)
+
+    def test_optional_none_allowed(self):
+        @array_contract(
+            x=ArraySpec(dtype="float64", optional=True), enforce=True
+        )
+        def f(x=None):
+            return x
+
+        assert f() is None
+        with pytest.raises(ContractViolation, match="required array is None"):
+
+            @array_contract(x=ArraySpec(dtype="float64"), enforce=True)
+            def g(x):
+                return x
+
+            g(None)
+
+    def test_attr_drilldown(self):
+        class Result:
+            def __init__(self, labels):
+                self.labels = labels
+
+        @array_contract(
+            ret=ArraySpec(dtype="int64", ndim=1, attr="labels"), enforce=True
+        )
+        def f(good):
+            dtype = np.int64 if good else np.int32
+            return Result(np.zeros(3, dtype=dtype))
+
+        f(True)
+        with pytest.raises(ContractViolation, match="int32 violates"):
+            f(False)
+
+    def test_item_drilldown(self):
+        @array_contract(
+            ret=ArraySpec(dtype="float64", cols=2, item=1), enforce=True
+        )
+        def f():
+            return ("projection", np.zeros((4, 2), dtype=np.float64))
+
+        f()
+
+
+class TestCSRSpecEnforcement:
+    @staticmethod
+    def _make(n_hits, offsets):
+        return (
+            np.arange(n_hits, dtype=np.int64),
+            np.asarray(offsets, dtype=np.int64),
+        )
+
+    def _decorated(self):
+        @array_contract(ret=CSRSpec(centers="centers"), enforce=True)
+        def query(centers, result):
+            return result
+
+        return query
+
+    def test_valid_csr_passes(self):
+        query = self._decorated()
+        query(np.zeros((2, 2)), self._make(3, [0, 1, 3]))
+
+    def test_decoupled_halves_raise(self):
+        query = self._decorated()
+        with pytest.raises(ContractViolation, match="decoupled"):
+            query(np.zeros((2, 2)), self._make(3, [0, 1, 2]))
+
+    def test_offsets_must_start_at_zero(self):
+        query = self._decorated()
+        with pytest.raises(ContractViolation, match="start at 0"):
+            query(np.zeros((2, 2)), self._make(3, [1, 2, 3]))
+
+    def test_offsets_must_be_nondecreasing(self):
+        query = self._decorated()
+        with pytest.raises(ContractViolation, match="non-decreasing"):
+            query(np.zeros((3, 2)), self._make(3, [0, 2, 1, 3]))
+
+    def test_offsets_length_pins_to_centers(self):
+        query = self._decorated()
+        with pytest.raises(ContractViolation, match=r"len\(centers\) \+ 1"):
+            query(np.zeros((3, 2)), self._make(3, [0, 1, 3]))
+
+    def test_int32_halves_rejected(self):
+        query = self._decorated()
+        indices = np.arange(3, dtype=np.int32)
+        offsets = np.array([0, 1, 3], dtype=np.int64)
+        with pytest.raises(ContractViolation, match="int64 contract"):
+            query(np.zeros((2, 2)), (indices, offsets))
+
+    def test_non_tuple_rejected(self):
+        query = self._decorated()
+        with pytest.raises(ContractViolation, match="tuple"):
+            query(np.zeros((2, 2)), np.zeros(3, dtype=np.int64))
+
+
+class TestSameLengthEnforcement:
+    def test_return_couples_to_spec_less_parameter(self):
+        @array_contract(ret=SameLength(of="items"), enforce=True)
+        def f(items, drop):
+            out = list(items)
+            if drop:
+                out.pop()
+            return out
+
+        f([1, 2, 3], drop=False)
+        with pytest.raises(ContractViolation, match=r"len\(items\)"):
+            f([1, 2, 3], drop=True)
+
+    def test_unsized_return_rejected(self):
+        @array_contract(ret=SameLength(of="items"), enforce=True)
+        def f(items):
+            return 42
+
+        with pytest.raises(ContractViolation, match="no length"):
+            f([1])
+
+
+class TestObservability:
+    def test_checks_and_violations_counted(self):
+        reg = MetricsRegistry(enabled=True)
+        old = obs.set_registry(reg)
+        try:
+
+            @array_contract(x=ArraySpec(dtype="int64", ndim=1), enforce=True)
+            def f(x):
+                return x
+
+            f(np.zeros(2, dtype=np.int64))
+            with pytest.raises(ContractViolation):
+                f(np.zeros(2, dtype=np.float64))
+            snap = reg.snapshot()
+        finally:
+            obs.set_registry(old)
+        assert snap["counters"]["contracts.checks"] == 2
+        assert snap["counters"]["contracts.violations"] == 1
+
+
+class TestDecoratedBoundaries:
+    """The real pipeline boundaries behave identically under enforcement.
+
+    ``enforce=None`` decorations in ``src/repro`` read ``REPRO_SANITIZE``
+    at import, so here we re-wrap the live functions and drive them the
+    way the pipeline does.
+    """
+
+    def test_compute_popularity_contract_holds(self):
+        from repro.core.popularity import compute_popularity
+
+        wrapped = array_contract(
+            poi_xy=ArraySpec(dtype="float64", cols=2, coerced=True),
+            ret=ArraySpec(
+                dtype="float64", ndim=1, finite=True, same_length_as="poi_xy"
+            ),
+            enforce=True,
+        )(compute_popularity)
+        pop = wrapped(np.zeros((2, 2)), np.zeros((3, 2)), 100.0)
+        assert pop.shape == (2,)
+
+    def test_query_radius_many_satisfies_csr_contract(self):
+        from repro.geo.index import GridIndex
+
+        index = GridIndex(np.random.default_rng(0).uniform(0, 100, (50, 2)))
+        wrapped = array_contract(
+            centers=ArraySpec(dtype="float64", cols=2, coerced=True),
+            ret=CSRSpec(centers="centers"),
+            enforce=True,
+        )(GridIndex.query_radius_many)
+        indices, offsets = wrapped(index, np.zeros((4, 2)), 25.0)
+        assert len(offsets) == 5
+        assert int(offsets[-1]) == len(indices)
+
+    def test_declared_contracts_are_introspectable(self):
+        from repro.core.popularity import compute_popularity
+        from repro.geo.index import GridIndex
+
+        for fn in (compute_popularity, GridIndex.query_radius_many):
+            contract = fn.__array_contract__
+            assert contract.params or contract.ret

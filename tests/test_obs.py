@@ -239,6 +239,21 @@ class TestPipelineIntegration:
             counters["geo.index.candidates"] >= counters["geo.index.hits"]
         )
 
+    def test_every_emitted_name_is_registered(self, mined_snapshot):
+        """Snapshot names are a subset of the repro.obs.names registry.
+
+        The inverse direction (call sites use registered literals) is
+        enforced statically by reprolint rule RPL008; together the two
+        checks pin the registry to reality from both sides.
+        """
+        from repro.obs import names
+
+        assert set(mined_snapshot["counters"]) <= names.COUNTERS
+        assert set(mined_snapshot["gauges"]) <= names.GAUGES
+        assert set(mined_snapshot["histograms"]) <= names.HISTOGRAMS
+        # Timer snapshots mix plain timers with dotted span names.
+        assert set(mined_snapshot["timers"]) <= names.TIMERS | names.SPAN_NAMES
+
     def test_disabled_registry_records_nothing(self, small_csd):
         from repro.core.recognition import CSDRecognizer
         from repro.data.trajectory import StayPoint
@@ -255,3 +270,33 @@ class TestPipelineIntegration:
         assert snap["counters"] == {}
         assert snap["timers"] == {}
         assert snap["histograms"] == {}
+
+
+class TestNamesRegistry:
+    """The central metric-name registry (repro.obs.names)."""
+
+    def test_kinds_are_disjoint(self):
+        from repro.obs import names
+
+        kinds = [names.COUNTERS, names.GAUGES, names.HISTOGRAMS, names.TIMERS]
+        for i, a in enumerate(kinds):
+            for b in kinds[i + 1 :]:
+                assert not (a & b)
+
+    def test_unions_compose(self):
+        from repro.obs import names
+
+        assert names.METRIC_NAMES == (
+            names.COUNTERS | names.GAUGES | names.HISTOGRAMS | names.TIMERS
+        )
+        assert names.DOCUMENTED_NAMES == names.METRIC_NAMES | names.SPAN_NAMES
+
+    def test_metric_kind_lookup(self):
+        from repro.obs import names
+
+        assert names.metric_kind("contracts.checks") == "counter"
+        assert names.metric_kind("incremental.staleness") == "gauge"
+        assert names.metric_kind("recognition.batch_latency_s") == "histogram"
+        assert names.metric_kind("constructor.popularity") == "timer"
+        assert names.metric_kind("pipeline.runner") == "span"
+        assert names.metric_kind("no.such.metric") is None

@@ -268,6 +268,81 @@ class TestRPL006DirectTiming:
         assert check_source(code, path=CORE) == []
 
 
+class TestRPL007DtypeDiscipline:
+    def test_fires_on_missing_dtype(self):
+        code = "import numpy as np\nx = np.zeros(10)\n"
+        assert "RPL007" in rules_of(check_source(code, path=CORE))
+
+    def test_fires_on_builtin_int_dtype(self):
+        code = "import numpy as np\nx = np.zeros(10, dtype=int)\n"
+        findings = check_source(code, path=CORE)
+        assert "RPL007" in rules_of(findings)
+        assert "platform" in findings[0].message
+
+    def test_fires_on_np_int_underscore(self):
+        code = "import numpy as np\nx = np.arange(5, dtype=np.int_)\n"
+        assert "RPL007" in rules_of(check_source(code, path=CORE))
+
+    def test_fires_on_astype_int(self):
+        code = "import numpy as np\ndef f(a):\n    return a.astype(int)\n"
+        assert "RPL007" in rules_of(check_source(code, path=HOT))
+
+    def test_fires_on_linspace_astype_int(self):
+        # The exact shape of the recognition.py bug this rule was built
+        # to catch: chunk bounds cast through the platform int.
+        code = (
+            "import numpy as np\n"
+            "def f(flat, n_jobs):\n"
+            "    return np.linspace(0, len(flat), n_jobs + 1).astype(int)\n"
+        )
+        assert "RPL007" in rules_of(check_source(code, path=HOT))
+
+    def test_fires_on_string_int_dtype(self):
+        code = "import numpy as np\nx = np.empty(3, dtype='int')\n"
+        assert "RPL007" in rules_of(check_source(code, path=CORE))
+
+    def test_silent_on_explicit_int64(self):
+        code = "import numpy as np\nx = np.zeros(10, dtype=np.int64)\n"
+        assert check_source(code, path=CORE) == []
+
+    def test_silent_on_explicit_float64(self):
+        code = (
+            "import numpy as np\n"
+            "a = np.empty((4, 2), dtype=np.float64)\n"
+            "b = a.astype(np.float64)\n"
+        )
+        assert check_source(code, path=CORE) == []
+
+    def test_silent_on_positional_stable_dtype(self):
+        code = "import numpy as np\nx = np.asarray([1.0], np.float64)\n"
+        assert check_source(code, path=CORE) == []
+
+    def test_silent_on_builtin_float(self):
+        # dtype=float is float64 on every platform numpy supports; only
+        # the integer family is platform-dependent.
+        code = "import numpy as np\nx = np.zeros(3, dtype=float)\n"
+        assert check_source(code, path=CORE) == []
+
+    def test_silent_on_variable_dtype(self):
+        # A dtype routed through a variable is someone's deliberate
+        # decision; the rule only polices literal construction sites.
+        code = "import numpy as np\ndef f(n, dt):\n    return np.zeros(n, dtype=dt)\n"
+        assert check_source(code, path=CORE) == []
+
+    def test_silent_outside_repro_package(self):
+        code = "import numpy as np\nx = np.zeros(10)\n"
+        assert check_source(code, path="benchmarks/bench_example.py") == []
+        assert check_source(code, path="tools/example.py") == []
+
+    def test_pragma_suppresses(self):
+        code = (
+            "import numpy as np\n"
+            "# reprolint: allow-dtype -- scratch buffer, never persisted\n"
+            "x = np.zeros(10)\n"
+        )
+        assert check_source(code, path=CORE) == []
+
+
 class TestEngine:
     def test_syntax_error_reported_as_rpl000(self):
         findings = check_source("def f(:\n", path=DATA)
@@ -289,6 +364,51 @@ class TestEngine:
         payload = json.loads(json.dumps([f.to_dict() for f in findings]))
         assert payload[0]["rule"] == "RPL005"
         assert payload[0]["line"] == 1
+
+
+class TestPragmaEngine:
+    """Suppression span mechanics the rules all share."""
+
+    def test_pragma_above_decorators_suppresses_decorated_def(self):
+        # Decorator lines are transparent: a pragma in the comment block
+        # above the decorator stack still covers the def header.
+        code = (
+            "# reprolint: allow-mutable-default -- frozen by the wrapper\n"
+            "@functools.cache\n"
+            "@other.decorator\n"
+            "def f(xs=[]):\n"
+            "    return xs\n"
+        )
+        assert check_source(code, path=DATA) == []
+
+    def test_pragma_on_continuation_line_suppresses_expression(self):
+        # A multi-line call is one statement; the pragma may sit on any
+        # of its physical lines.
+        code = (
+            "import numpy as np\n"
+            "x = np.zeros(\n"
+            "    10,  # reprolint: allow-dtype\n"
+            ")\n"
+        )
+        assert check_source(code, path=CORE) == []
+
+    def test_pragma_inside_block_body_does_not_cover_header(self):
+        # A block statement's span is its header only — a pragma on a
+        # body line must not silence the loop-header finding.
+        code = (
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        use(x)  # reprolint: allow-loop\n"
+        )
+        assert "RPL002" in rules_of(check_source(code, path=HOT))
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        code = (
+            "import numpy as np\n"
+            "# reprolint: allow-loop\n"
+            "x = np.zeros(10)\n"
+        )
+        assert "RPL007" in rules_of(check_source(code, path=CORE))
 
 
 class TestCli:
@@ -315,11 +435,30 @@ class TestCli:
     def test_unknown_rule_select_is_usage_error(self, capsys):
         assert reprolint_main(["--select", "RPL999"]) == 2
 
+    def test_rules_alias_filters(self, tmp_path, capsys):
+        # --rules is an alias for --select; the RPL005 fixture must be
+        # invisible when only RPL004 is requested.
+        target = tmp_path / "bad.py"
+        target.write_text("def f(xs=[]):\n    return xs\n")
+        assert reprolint_main([str(target), "--rules", "RPL004"]) == 0
+        assert reprolint_main([str(target), "--rules", "RPL005"]) == 1
+
+    def test_json_finding_schema(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("def f(xs=[]):\n    return xs\n")
+        assert reprolint_main([str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"findings", "count"}
+        finding = payload["findings"][0]
+        assert set(finding) == {"path", "line", "col", "rule", "message"}
+        assert isinstance(finding["line"], int)
+        assert isinstance(finding["col"], int)
+
     def test_list_rules(self, capsys):
         assert reprolint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
-                     "RPL006"):
+                     "RPL006", "RPL007", "RPL008", "RPL009", "RPL010"):
             assert rule in out
 
     def test_module_invocation_from_repo_root(self):

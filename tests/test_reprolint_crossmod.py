@@ -1,0 +1,440 @@
+"""Unit tests for reprolint's cross-module pass (tools/reprolint/crossmod).
+
+Fixtures build a synthetic project from ``(path, source)`` pairs so each
+rule can be exercised in isolation, then the real repository is held to
+the same standard (the repo-is-clean gates at the bottom).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint.crossmod import (  # noqa: E402
+    ALIAS_DTYPES,
+    CONTRACT_MODULES,
+    build_project,
+    check_project,
+    load_project,
+    module_name,
+)
+
+NAMES_PATH = "src/repro/obs/names.py"
+
+#: Minimal names.py standing in for the real registry.
+NAMES_SRC = (
+    "COUNTERS = frozenset({\n"
+    '    "constructor.pois",\n'
+    '    "contracts.checks",\n'
+    "})\n"
+    'GAUGES = frozenset({"incremental.staleness"})\n'
+    'HISTOGRAMS = frozenset({"recognition.batch_size"})\n'
+    'TIMERS = frozenset({"constructor.popularity"})\n'
+    'SPAN_LABELS = frozenset({"pipeline"})\n'
+    'SPAN_NAMES = frozenset({"pipeline.constructor"})\n'
+)
+
+#: A doc that backtick-mentions every registered name exactly once.
+CLEAN_DOC = (
+    "# Observability\n"
+    "\n"
+    "## Metric catalogue\n"
+    "\n"
+    "| name | kind |\n"
+    "| --- | --- |\n"
+    "| `constructor.pois` | counter |\n"
+    "| `contracts.checks` | counter |\n"
+    "| `incremental.staleness` | gauge |\n"
+    "| `recognition.batch_size` | histogram |\n"
+    "| `constructor.popularity` | timer |\n"
+    "| `pipeline.constructor` | span |\n"
+    "\n"
+    "## Unrelated section\n"
+    "\n"
+    "Mentions of `some.other.token` here are not metric rows.\n"
+)
+
+
+def findings_of(*files, select=None, obs_doc=None):
+    return check_project(
+        build_project(list(files)), select=select, obs_doc=obs_doc
+    )
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestModuleName:
+    def test_maps_src_layout_to_dotted(self):
+        assert module_name("src/repro/core/csd.py") == "repro.core.csd"
+
+    def test_package_init_maps_to_package(self):
+        assert module_name("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_non_repro_paths_are_excluded(self):
+        assert module_name("tools/reprolint/rules.py") is None
+        assert module_name("benchmarks/bench_example.py") is None
+
+
+class TestRPL008MetricNames:
+    CALLER = "src/repro/core/example.py"
+
+    def test_registered_literal_is_silent(self):
+        code = (
+            "from repro.obs import get_registry\n"
+            'get_registry().counter("constructor.pois").inc()\n'
+        )
+        assert findings_of((NAMES_PATH, NAMES_SRC), (self.CALLER, code)) == []
+
+    def test_unregistered_literal_fires(self):
+        code = (
+            "from repro.obs import get_registry\n"
+            'get_registry().counter("constructor.poiz").inc()\n'
+        )
+        findings = findings_of((NAMES_PATH, NAMES_SRC), (self.CALLER, code))
+        assert rules_of(findings) == ["RPL008"]
+        assert "constructor.poiz" in findings[0].message
+
+    def test_kind_mismatch_fires(self):
+        # Registered as a counter, used as a gauge: each kind has its
+        # own sanctioned set.
+        code = (
+            "from repro.obs import get_registry\n"
+            'get_registry().gauge("constructor.pois").set(1)\n'
+        )
+        findings = findings_of((NAMES_PATH, NAMES_SRC), (self.CALLER, code))
+        assert rules_of(findings) == ["RPL008"]
+
+    def test_computed_name_fires_even_without_registry(self):
+        code = (
+            "from repro.obs import get_registry\n"
+            "def f(stage):\n"
+            '    get_registry().counter(f"{stage}.count").inc()\n'
+        )
+        findings = findings_of((self.CALLER, code))
+        assert rules_of(findings) == ["RPL008"]
+        assert "computed" in findings[0].message
+
+    def test_repro_obs_itself_is_exempt(self):
+        # The registry implementation mints names; the rule polices
+        # callers, not the registry.
+        code = (
+            "def emit(self):\n"
+            '    self.counter("internal.bookkeeping").inc()\n'
+        )
+        files = [(NAMES_PATH, NAMES_SRC), ("src/repro/obs/metrics.py", code)]
+        assert findings_of(*files) == []
+
+    def test_pragma_suppresses(self):
+        code = (
+            "from repro.obs import get_registry\n"
+            "# reprolint: allow-metric-name -- experimental probe\n"
+            'get_registry().counter("scratch.probe").inc()\n'
+        )
+        assert findings_of((NAMES_PATH, NAMES_SRC), (self.CALLER, code)) == []
+
+
+class TestRPL009RequiredContracts:
+    HOT = "src/repro/core/popularity.py"  # module in CONTRACT_MODULES
+
+    def test_alias_typed_public_function_needs_contract(self):
+        assert "repro.core.popularity" in CONTRACT_MODULES
+        code = (
+            "from repro.types import IndexArray\n"
+            "def pick(labels: IndexArray) -> IndexArray:\n"
+            "    return labels\n"
+        )
+        findings = findings_of((self.HOT, code))
+        assert rules_of(findings) == ["RPL009"]
+        assert "declares no @array_contract" in findings[0].message
+
+    def test_string_annotations_also_count(self):
+        code = (
+            "def pick(labels: 'IndexArray') -> None:\n"
+            "    return None\n"
+        )
+        assert rules_of(findings_of((self.HOT, code))) == ["RPL009"]
+
+    def test_private_functions_are_exempt(self):
+        code = (
+            "from repro.types import IndexArray\n"
+            "def _pick(labels: IndexArray) -> IndexArray:\n"
+            "    return labels\n"
+        )
+        assert findings_of((self.HOT, code)) == []
+
+    def test_property_accessors_are_exempt(self):
+        code = (
+            "from repro.types import Float64Array\n"
+            "class CSD:\n"
+            "    @property\n"
+            "    def popularity(self) -> Float64Array:\n"
+            "        return self._pop\n"
+        )
+        assert findings_of((self.HOT, code)) == []
+
+    def test_unannotated_functions_are_exempt(self):
+        code = "def helper(x, y):\n    return x + y\n"
+        assert findings_of((self.HOT, code)) == []
+
+    def test_modules_outside_the_contract_set_are_exempt(self):
+        code = (
+            "from repro.types import IndexArray\n"
+            "def pick(labels: IndexArray) -> IndexArray:\n"
+            "    return labels\n"
+        )
+        assert findings_of(("src/repro/eval/example.py", code)) == []
+
+    def test_declared_contract_satisfies_the_requirement(self):
+        code = (
+            "from repro.contracts import ArraySpec, array_contract\n"
+            "from repro.types import IndexArray\n"
+            '@array_contract(ret=ArraySpec(dtype="int64", ndim=1))\n'
+            "def pick(labels: IndexArray) -> IndexArray:\n"
+            "    return labels\n"
+        )
+        assert findings_of((self.HOT, code)) == []
+
+    def test_pragma_suppresses(self):
+        code = (
+            "from repro.types import IndexArray\n"
+            "# reprolint: allow-contract -- thin re-export\n"
+            "def pick(labels: IndexArray) -> IndexArray:\n"
+            "    return labels\n"
+        )
+        assert findings_of((self.HOT, code)) == []
+
+
+class TestRPL009SpecConsistency:
+    MOD = "src/repro/core/example.py"  # any repro module: checks are repo-wide
+
+    def test_dtype_contradicting_alias_fires(self):
+        # The acceptance fixture: an int64-promising annotation with a
+        # float64 runtime spec is contract drift.
+        code = (
+            "from repro.contracts import ArraySpec, array_contract\n"
+            "from repro.types import IndexArray\n"
+            '@array_contract(labels=ArraySpec(dtype="float64", ndim=1))\n'
+            "def f(labels: IndexArray) -> None:\n"
+            "    return None\n"
+        )
+        findings = findings_of((self.MOD, code))
+        assert rules_of(findings) == ["RPL009"]
+        assert "drifted" in findings[0].message
+        assert ALIAS_DTYPES["IndexArray"] == "int64"
+
+    def test_matching_dtype_is_silent(self):
+        code = (
+            "from repro.contracts import ArraySpec, array_contract\n"
+            "from repro.types import IndexArray\n"
+            '@array_contract(labels=ArraySpec(dtype="int64", ndim=1))\n'
+            "def f(labels: IndexArray) -> None:\n"
+            "    return None\n"
+        )
+        assert findings_of((self.MOD, code)) == []
+
+    def test_unknown_parameter_name_fires(self):
+        code = (
+            "from repro.contracts import ArraySpec, array_contract\n"
+            '@array_contract(ghost=ArraySpec(dtype="float64"))\n'
+            "def f(labels):\n"
+            "    return labels\n"
+        )
+        findings = findings_of((self.MOD, code))
+        assert rules_of(findings) == ["RPL009"]
+        assert "unknown parameter 'ghost'" in findings[0].message
+
+    def test_dangling_shape_coupling_fires(self):
+        code = (
+            "from repro.contracts import ArraySpec, array_contract\n"
+            "@array_contract(\n"
+            '    ret=ArraySpec(dtype="float64", same_length_as="ghost")\n'
+            ")\n"
+            "def f(xs):\n"
+            "    return xs\n"
+        )
+        findings = findings_of((self.MOD, code))
+        assert rules_of(findings) == ["RPL009"]
+        assert "'ghost'" in findings[0].message
+
+    def test_csr_spec_on_non_csr_annotation_fires(self):
+        code = (
+            "from repro.contracts import CSRSpec, array_contract\n"
+            "from repro.types import IndexArray\n"
+            "@array_contract(ret=CSRSpec())\n"
+            "def f(xs) -> IndexArray:\n"
+            "    return xs\n"
+        )
+        findings = findings_of((self.MOD, code))
+        assert rules_of(findings) == ["RPL009"]
+        assert "not CSRQuery" in findings[0].message
+
+    def test_array_spec_on_csr_annotation_fires(self):
+        code = (
+            "from repro.contracts import ArraySpec, array_contract\n"
+            "from repro.types import CSRQuery\n"
+            '@array_contract(ret=ArraySpec(dtype="int64"))\n'
+            "def f(xs) -> CSRQuery:\n"
+            "    return xs\n"
+        )
+        findings = findings_of((self.MOD, code))
+        assert rules_of(findings) == ["RPL009"]
+        assert "CSRSpec" in findings[0].message
+
+    def test_csr_spec_on_csr_annotation_is_silent(self):
+        code = (
+            "from repro.contracts import ArraySpec, CSRSpec, array_contract\n"
+            "from repro.types import CSRQuery\n"
+            "@array_contract(\n"
+            '    xy=ArraySpec(dtype="float64", cols=2, coerced=True),\n'
+            '    ret=CSRSpec(centers="xy"),\n'
+            ")\n"
+            "def f(xy) -> CSRQuery:\n"
+            "    return xy\n"
+        )
+        assert findings_of((self.MOD, code)) == []
+
+    def test_drilled_specs_skip_the_annotation_cross_check(self):
+        # attr= drills into a sub-object, so the annotation of the
+        # whole return value cannot contradict it.
+        code = (
+            "from repro.contracts import ArraySpec, array_contract\n"
+            "from repro.types import IndexArray\n"
+            "@array_contract(\n"
+            '    ret=ArraySpec(dtype="float64", attr="popularity")\n'
+            ")\n"
+            "def f(xs) -> IndexArray:\n"
+            "    return xs\n"
+        )
+        assert findings_of((self.MOD, code)) == []
+
+    def test_ret_spec_list_is_checked_elementwise(self):
+        code = (
+            "from repro.contracts import ArraySpec, array_contract\n"
+            "from repro.types import IndexArray\n"
+            "@array_contract(ret=[\n"
+            '    ArraySpec(dtype="int64", ndim=1),\n'
+            '    ArraySpec(dtype="float64", ndim=1),\n'
+            "])\n"
+            "def f(xs) -> IndexArray:\n"
+            "    return xs\n"
+        )
+        findings = findings_of((self.MOD, code))
+        assert rules_of(findings) == ["RPL009"]
+
+    def test_pragma_above_decorator_suppresses(self):
+        code = (
+            "from repro.contracts import ArraySpec, array_contract\n"
+            "from repro.types import IndexArray\n"
+            "# reprolint: allow-contract -- transitional spec\n"
+            '@array_contract(labels=ArraySpec(dtype="float64", ndim=1))\n'
+            "def f(labels: IndexArray) -> None:\n"
+            "    return None\n"
+        )
+        assert findings_of((self.MOD, code)) == []
+
+
+class TestRPL010DocsDrift:
+    DOC = ("docs/OBSERVABILITY.md", CLEAN_DOC)
+
+    def test_clean_doc_is_silent(self):
+        assert findings_of((NAMES_PATH, NAMES_SRC), obs_doc=self.DOC) == []
+
+    def test_missing_registered_name_fires(self):
+        pruned = CLEAN_DOC.replace("| `contracts.checks` | counter |\n", "")
+        findings = findings_of(
+            (NAMES_PATH, NAMES_SRC), obs_doc=("docs/OBSERVABILITY.md", pruned)
+        )
+        assert rules_of(findings) == ["RPL010"]
+        assert "contracts.checks" in findings[0].message
+
+    def test_unregistered_token_in_catalogue_fires(self):
+        doc = CLEAN_DOC.replace(
+            "| `pipeline.constructor` | span |\n",
+            "| `pipeline.constructor` | span |\n| `ghost.metric` | counter |\n",
+        )
+        findings = findings_of(
+            (NAMES_PATH, NAMES_SRC), obs_doc=("docs/OBSERVABILITY.md", doc)
+        )
+        assert rules_of(findings) == ["RPL010"]
+        assert "ghost.metric" in findings[0].message
+
+    def test_tokens_outside_the_catalogue_are_ignored(self):
+        # CLEAN_DOC already mentions `some.other.token` in a later
+        # section; the clean test covers it, this one makes the intent
+        # explicit.
+        assert "some.other.token" in CLEAN_DOC
+        assert findings_of((NAMES_PATH, NAMES_SRC), obs_doc=self.DOC) == []
+
+    def test_repro_prefixed_tokens_are_ignored(self):
+        doc = CLEAN_DOC.replace(
+            "| `pipeline.constructor` | span |\n",
+            "| `pipeline.constructor` | span (see `repro.obs.names`) |\n",
+        )
+        assert findings_of(
+            (NAMES_PATH, NAMES_SRC), obs_doc=("docs/OBSERVABILITY.md", doc)
+        ) == []
+
+    def test_no_registry_no_gate(self):
+        # A fixture project without names.py cannot assert doc drift.
+        assert findings_of(obs_doc=("docs/OBSERVABILITY.md", "# empty\n")) == []
+
+
+class TestSelectFiltering:
+    def test_select_limits_pass2_rules(self):
+        code = (
+            "from repro.obs import get_registry\n"
+            "from repro.contracts import ArraySpec, array_contract\n"
+            "def f(stage):\n"
+            '    get_registry().counter(f"{stage}.count").inc()\n'
+            '@array_contract(ghost=ArraySpec(dtype="float64"))\n'
+            "def g(labels):\n"
+            "    return labels\n"
+        )
+        path = "src/repro/core/example.py"
+        assert rules_of(findings_of((path, code))) == ["RPL008", "RPL009"]
+        assert rules_of(
+            findings_of((path, code), select=["RPL008"])
+        ) == ["RPL008"]
+
+
+class TestRepositoryIsClean:
+    """The real repo passes its own cross-module gates."""
+
+    @pytest.fixture(scope="class")
+    def project(self):
+        return load_project([str(REPO_ROOT / "src")])
+
+    def test_registry_is_discovered(self, project):
+        assert "COUNTERS" in project.registry
+        assert "contracts.checks" in project.registry["COUNTERS"]
+
+    def test_src_tree_passes_pass2(self, project):
+        doc_path = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+        findings = check_project(
+            project,
+            obs_doc=(str(doc_path), doc_path.read_text(encoding="utf-8")),
+        )
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_every_contract_module_exists(self, project):
+        missing = CONTRACT_MODULES - set(project.modules)
+        assert missing == set(), missing
+
+    def test_hot_boundaries_declare_contracts(self, project):
+        declared = {
+            f"{fn.module}.{fn.qualname}"
+            for fn in project.functions
+            if fn.contract is not None
+        }
+        for expected in (
+            "repro.geo.index.GridIndex.query_radius_many",
+            "repro.core.popularity.compute_popularity",
+            "repro.data.persistence.save_csd",
+            "repro.runner.runner.PipelineRunner.run",
+        ):
+            assert expected in declared, expected

@@ -2,7 +2,12 @@
 
 A deliberately small, stdlib-only (``ast``) linter that machine-checks
 the invariants the CSR kernel rewrite (PR 1) rests on and that generic
-linters cannot know about:
+linters cannot know about.  It runs in two passes: pass 1 checks each
+file in isolation, pass 2 (:mod:`tools.reprolint.crossmod`) builds a
+repo-wide symbol table over ``src/repro`` and checks contracts between
+modules.
+
+Pass 1 (per file):
 
 ========  ==============================================================
 RPL001    No raw lon/lat arithmetic or haversine math outside
@@ -23,31 +28,71 @@ RPL006    No direct ``time.time()``/``time.perf_counter()`` timing in
           ``src/repro/`` outside ``repro.obs`` — all timing routes
           through the observability layer's ``Timer``/``Span`` so it
           lands in the metrics snapshot.
+RPL007    Every array-constructing call (``np.zeros``/``empty``/
+          ``full``/``arange``/``asarray``/``array`` and ``.astype``) in
+          ``src/repro`` names an explicit platform-stable dtype —
+          ``int``/``np.int_`` are int32 on Windows and break the
+          repo-wide int64 CSR/label contract.
 ========  ==============================================================
 
-Suppression: put ``# reprolint: allow-<name>`` on the flagged line or
-the line directly above it (``allow-lonlat``, ``allow-loop``,
-``allow-unordered``, ``allow-legacy-random``, ``allow-mutable-default``,
-``allow-direct-timing``).
+Pass 2 (cross-module):
+
+========  ==============================================================
+RPL008    Obs metric/span names are string literals registered in the
+          central ``repro.obs.names`` registry — no computed names, no
+          ad-hoc dotted strings, no catalogue typos.
+RPL009    Public array-typed functions in the contract-bearing modules
+          carry an ``@array_contract`` declaration, and every declared
+          contract agrees with the function's ``repro.types``
+          annotations (``IndexArray`` ⇒ ``int64``, ``CSRQuery`` ⇒
+          ``CSRSpec``, …).
+RPL010    ``docs/OBSERVABILITY.md`` and ``repro.obs.names`` list the
+          same names — the metric catalogue cannot silently rot.
+========  ==============================================================
+
+Suppression: put ``# reprolint: allow-<name>`` on the flagged statement
+(any of its lines; for block statements, the header) or in the comment
+block directly above it — for decorated functions, above the first
+decorator (``allow-lonlat``, ``allow-loop``, ``allow-unordered``,
+``allow-legacy-random``, ``allow-mutable-default``,
+``allow-direct-timing``, ``allow-dtype``, ``allow-metric-name``,
+``allow-contract``).  RPL010 anchors in the markdown doc, which has no
+pragma channel — fix the drift instead.
 
 Run ``python -m tools.reprolint src/`` from the repository root; see
 ``docs/STATIC_ANALYSIS.md`` for the full rationale of each rule.
 """
 
+from tools.reprolint.crossmod import (
+    ALIAS_DTYPES,
+    CONTRACT_MODULES,
+    Project,
+    build_project,
+    check_project,
+    load_project,
+)
 from tools.reprolint.rules import (
     ALL_RULES,
     Finding,
     check_file,
     check_paths,
     check_source,
+    is_suppressed,
     iter_python_files,
 )
 
 __all__ = [
+    "ALIAS_DTYPES",
     "ALL_RULES",
+    "CONTRACT_MODULES",
     "Finding",
+    "Project",
+    "build_project",
     "check_file",
     "check_paths",
+    "check_project",
     "check_source",
+    "is_suppressed",
     "iter_python_files",
+    "load_project",
 ]

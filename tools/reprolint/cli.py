@@ -1,5 +1,10 @@
 """Command-line entry point: ``python -m tools.reprolint [paths...]``.
 
+Runs both analysis passes: pass 1 lints each file in isolation, pass 2
+builds a repo-wide symbol table over the ``repro`` package files in the
+lint set and checks cross-module contracts (RPL008–RPL010), including
+the ``docs/OBSERVABILITY.md`` drift gate when the doc is present.
+
 Exit status: 0 when clean, 1 when findings exist, 2 on usage errors.
 ``--format json`` emits a machine-readable report (one JSON document,
 ``{"findings": [...], "count": N}``) for CI annotation tooling.
@@ -10,8 +15,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
+from tools.reprolint.crossmod import check_project, load_project
 from tools.reprolint.rules import ALL_RULES, check_paths
 
 
@@ -34,10 +41,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--select",
+        "--rules",
+        dest="select",
         metavar="RULES",
         default=None,
         help="comma-separated rule ids to enable, e.g. RPL002,RPL003 "
         "(default: all rules)",
+    )
+    parser.add_argument(
+        "--no-crossmod",
+        action="store_true",
+        help="skip pass 2 (cross-module rules RPL008-RPL010)",
+    )
+    parser.add_argument(
+        "--obs-docs",
+        metavar="PATH",
+        default=None,
+        help="observability doc checked by the RPL010 drift gate "
+        "(default: docs/OBSERVABILITY.md when it exists)",
     )
     parser.add_argument(
         "--list-rules",
@@ -61,6 +82,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
             return 2
     findings = check_paths(args.paths, select=select)
+    if not args.no_crossmod:
+        project = load_project(args.paths)
+        if project.modules:
+            obs_doc = None
+            doc_path = args.obs_docs
+            if doc_path is None and Path("docs/OBSERVABILITY.md").is_file():
+                doc_path = "docs/OBSERVABILITY.md"
+            if doc_path is not None:
+                try:
+                    obs_doc = (doc_path, Path(doc_path).read_text(encoding="utf-8"))
+                except OSError as exc:
+                    print(f"cannot read --obs-docs {doc_path}: {exc}", file=sys.stderr)
+                    return 2
+            findings.extend(check_project(project, select=select, obs_doc=obs_doc))
     if args.format == "json":
         print(
             json.dumps(

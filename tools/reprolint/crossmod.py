@@ -1,0 +1,609 @@
+"""Cross-module analysis pass (pass 2) for reprolint.
+
+Pass 1 (:mod:`tools.reprolint.rules`) checks each file in isolation.
+This pass parses every module under ``src/repro`` into a project-wide
+symbol table and checks the contracts that only make sense *between*
+modules:
+
+``RPL008``
+    Every ``counter``/``gauge``/``histogram``/``timer``/``span`` call
+    in ``src/repro`` (outside ``repro.obs`` itself) must pass a string
+    literal registered in the matching set of ``repro.obs.names`` — no
+    computed names, no ad-hoc dotted strings.  The registry sets are
+    read straight from the ``names.py`` AST (``frozenset({...})``
+    literals), so this pass never imports the package under analysis.
+
+``RPL009``
+    (a) Public functions in the contract-bearing modules
+    (:data:`CONTRACT_MODULES`) whose annotations use the
+    ``repro.types`` array aliases must carry an ``@array_contract``
+    declaration.  (b) Every declared contract anywhere in ``src/repro``
+    is cross-checked against the function's annotations: unknown
+    parameter names, dtype specs contradicting the alias vocabulary
+    (``IndexArray`` ⇒ ``int64``), and CSR/array spec mix-ups are all
+    findings.  This is what keeps the static contract layer and the
+    runtime sanitizer (``repro.contracts``) from drifting apart.
+
+``RPL010``
+    Docs-drift gate: every registered metric/span name must appear
+    (backticked) in ``docs/OBSERVABILITY.md``, and every metric-like
+    dotted name in that doc's catalogue section must be registered.
+
+Like pass 1, everything here is stdlib-only and purely syntactic;
+``# reprolint: allow-<name>`` pragmas suppress individual findings
+(RPL010 anchors in the markdown doc, which has no pragma channel — fix
+the drift instead).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from tools.reprolint.rules import (
+    ALL_RULES,
+    Finding,
+    _call_name,
+    _pragmas_by_line,
+    decorator_lines_of,
+    iter_python_files,
+    is_suppressed,
+)
+
+#: Registry method name -> names.py set that sanctions its first argument.
+METRIC_METHODS: Dict[str, str] = {
+    "counter": "COUNTERS",
+    "gauge": "GAUGES",
+    "histogram": "HISTOGRAMS",
+    "timer": "TIMERS",
+    "span": "SPAN_LABELS",
+}
+
+#: The module-level frozensets read from ``repro/obs/names.py``.
+REGISTRY_SETS: Tuple[str, ...] = (
+    "COUNTERS",
+    "GAUGES",
+    "HISTOGRAMS",
+    "TIMERS",
+    "SPAN_LABELS",
+    "SPAN_NAMES",
+)
+
+#: ``repro.types`` alias -> element dtype it promises.
+ALIAS_DTYPES: Dict[str, str] = {
+    "Float64Array": "float64",
+    "MetersArray": "float64",
+    "LonLatArray": "float64",
+    "IndexArray": "int64",
+    "BoolArray": "bool",
+}
+
+#: Annotation names that mark a signature as array-typed for RPL009(a).
+ARRAY_ALIASES: FrozenSet[str] = frozenset(ALIAS_DTYPES) | {"CSRQuery"}
+
+#: Modules (dotted) whose public array-typed functions are the hot
+#: boundaries the sanitizer must cover: RPL009(a) requires a declared
+#: contract on each.  Consistency checking (RPL009(b)) is repo-wide.
+CONTRACT_MODULES: FrozenSet[str] = frozenset(
+    {
+        "repro.geo.index",
+        "repro.geo.projection",
+        "repro.core.popularity",
+        "repro.core.constructor",
+        "repro.core.merging",
+        "repro.core.csd",
+        "repro.core.recognition",
+        "repro.data.persistence",
+        "repro.runner.runner",
+    }
+)
+
+#: Decorators that exempt a function from RPL009(a): properties expose
+#: attributes (contracts belong on the producer), overload stubs have no
+#: body to wrap.
+_EXEMPT_DECORATORS: FrozenSet[str] = frozenset(
+    {"property", "cached_property", "overload", "setter", "getter"}
+)
+
+_SPEC_CALLS: FrozenSet[str] = frozenset({"ArraySpec", "CSRSpec", "SameLength"})
+
+#: Metric-like dotted token inside the doc catalogue: lowercase dotted
+#: path, no slashes/spaces, at least one dot.
+_DOC_METRIC_TOKEN = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One (possibly nested/method) function definition in the project."""
+
+    module: str
+    path: str
+    qualname: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    contract: Optional[ast.Call]  # the @array_contract(...) call, if any
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed module plus its pragma map."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    pragmas: Dict[int, FrozenSet[str]]
+    comment_lines: FrozenSet[int]
+    decorator_lines: FrozenSet[int]
+
+
+@dataclass
+class Project:
+    """Repo-wide symbol table for pass 2."""
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+    #: names.py registry sets (set name -> literal names), when found.
+    registry: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    functions: List[FunctionInfo] = field(default_factory=list)
+
+    @property
+    def documented_names(self) -> FrozenSet[str]:
+        """Every name ``docs/OBSERVABILITY.md`` must carry (RPL010)."""
+        out: FrozenSet[str] = frozenset()
+        for key in ("COUNTERS", "GAUGES", "HISTOGRAMS", "TIMERS", "SPAN_NAMES"):
+            out |= self.registry.get(key, frozenset())
+        return out
+
+
+def module_name(path: str) -> Optional[str]:
+    """Dotted module name of a file under the ``repro`` package."""
+    parts = Path(path).as_posix().split("/")
+    if "repro" not in parts:
+        return None
+    rel = parts[parts.index("repro") :]
+    if rel[-1].endswith(".py"):
+        rel[-1] = rel[-1][: -len(".py")]
+    if rel[-1] == "__init__":
+        rel = rel[:-1]
+    return ".".join(rel)
+
+
+def _extract_registry(tree: ast.Module) -> Dict[str, FrozenSet[str]]:
+    """Read the ``frozenset({...})`` literals out of ``names.py``."""
+    out: Dict[str, FrozenSet[str]] = {}
+    for node in tree.body:
+        target: Optional[str] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            target, value = node.target.id, node.value
+        elif (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            target, value = node.targets[0].id, node.value
+        if target not in REGISTRY_SETS or value is None:
+            continue
+        if (
+            isinstance(value, ast.Call)
+            and _call_name(value.func) == "frozenset"
+            and value.args
+        ):
+            try:
+                literal = ast.literal_eval(value.args[0])
+            except ValueError:
+                continue
+            out[target] = frozenset(str(name) for name in literal)
+    return out
+
+
+def _contract_decorator(node: ast.AST) -> Optional[ast.Call]:
+    for dec in getattr(node, "decorator_list", []):
+        if isinstance(dec, ast.Call) and _call_name(dec.func) == "array_contract":
+            return dec
+    return None
+
+
+def _decorator_names(node: ast.AST) -> FrozenSet[str]:
+    names = set()
+    for dec in getattr(node, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = _call_name(target)
+        if name:
+            names.add(name)
+    return frozenset(names)
+
+
+def _walk_functions(info: ModuleInfo) -> Iterable[FunctionInfo]:
+    def visit(body: Sequence[ast.stmt], prefix: str) -> Iterable[FunctionInfo]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{node.name}"
+                yield FunctionInfo(
+                    module=info.module,
+                    path=info.path,
+                    qualname=qual,
+                    node=node,
+                    contract=_contract_decorator(node),
+                )
+                yield from visit(node.body, f"{qual}.<locals>.")
+            elif isinstance(node, ast.ClassDef):
+                yield from visit(node.body, f"{prefix}{node.name}.")
+
+    return visit(info.tree.body, "")
+
+
+def build_project(files: Iterable[Tuple[str, str]]) -> Project:
+    """Parse ``(path, source)`` pairs into a :class:`Project`.
+
+    Files that fail to parse are skipped — pass 1 already reports the
+    syntax error.
+    """
+    project = Project()
+    for path, source in files:
+        dotted = module_name(path)
+        if dotted is None:
+            continue
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        pragmas, comment_lines = _pragmas_by_line(source)
+        info = ModuleInfo(
+            path=path,
+            module=dotted,
+            tree=tree,
+            pragmas=pragmas,
+            comment_lines=comment_lines,
+            decorator_lines=decorator_lines_of(tree),
+        )
+        project.modules[dotted] = info
+        if dotted == "repro.obs.names":
+            project.registry = _extract_registry(tree)
+        project.functions.extend(_walk_functions(info))
+    return project
+
+
+def load_project(paths: Sequence[str]) -> Project:
+    """Build a project from every ``repro``-package file under ``paths``."""
+    files = []
+    for path in iter_python_files(paths):
+        if module_name(path) is None:
+            continue
+        files.append((path, Path(path).read_text(encoding="utf-8")))
+    return build_project(files)
+
+
+class _Pass2:
+    def __init__(self, project: Project, select: Optional[FrozenSet[str]]) -> None:
+        self.project = project
+        self.select = select
+        self.findings: List[Finding] = []
+
+    def _report(
+        self,
+        info: Optional[ModuleInfo],
+        node: Optional[ast.AST],
+        rule: str,
+        message: str,
+        path: Optional[str] = None,
+        line: int = 0,
+    ) -> None:
+        if self.select is not None and rule not in self.select:
+            return
+        pragma, _ = ALL_RULES[rule]
+        if (
+            info is not None
+            and node is not None
+            and is_suppressed(
+                node,
+                pragma,
+                info.pragmas,
+                info.comment_lines,
+                info.decorator_lines,
+            )
+        ):
+            return
+        self.findings.append(
+            Finding(
+                path=path or (info.path if info else "<project>"),
+                line=getattr(node, "lineno", line) if node is not None else line,
+                col=(getattr(node, "col_offset", 0) + 1) if node is not None else 1,
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # -- RPL008: metric names come from the registry -------------------
+
+    def check_metric_names(self) -> None:
+        registry = self.project.registry
+        for info in self.project.modules.values():
+            if info.module == "repro.obs" or info.module.startswith("repro.obs."):
+                continue
+            for node in ast.walk(info.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in METRIC_METHODS
+                    and node.args
+                ):
+                    continue
+                kind = node.func.attr
+                set_name = METRIC_METHODS[kind]
+                arg = node.args[0]
+                if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+                    self._report(
+                        info,
+                        node,
+                        "RPL008",
+                        f"{kind}() name must be a string literal from "
+                        f"repro.obs.names.{set_name}, not a computed "
+                        "expression — the registry is the only source of "
+                        "metric names",
+                    )
+                    continue
+                sanctioned = registry.get(set_name)
+                if sanctioned is not None and arg.value not in sanctioned:
+                    self._report(
+                        info,
+                        node,
+                        "RPL008",
+                        f"{kind}() name {arg.value!r} is not registered in "
+                        f"repro.obs.names.{set_name}; add it there (and to "
+                        "docs/OBSERVABILITY.md) or fix the typo",
+                    )
+
+    # -- RPL009: declared contracts exist and agree with annotations ---
+
+    def _annotation_aliases(self, node: Optional[ast.expr]) -> List[str]:
+        if node is None:
+            return []
+        found: List[str] = []
+        for sub in ast.walk(node):
+            name = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                # String annotation: cheap token scan is enough here.
+                for alias in ARRAY_ALIASES:
+                    if re.search(rf"\b{alias}\b", sub.value):
+                        found.append(alias)
+                continue
+            if name in ARRAY_ALIASES:
+                found.append(name)
+        return found
+
+    def _param_names(self, node: ast.AST) -> FrozenSet[str]:
+        args = node.args  # type: ignore[attr-defined]
+        return frozenset(
+            a.arg for a in args.posonlyargs + args.args + args.kwonlyargs
+        )
+
+    def _param_annotations(self, node: ast.AST) -> Dict[str, Optional[ast.expr]]:
+        args = node.args  # type: ignore[attr-defined]
+        return {
+            a.arg: a.annotation
+            for a in args.posonlyargs + args.args + args.kwonlyargs
+        }
+
+    def _spec_calls(self, value: ast.expr) -> List[ast.Call]:
+        """Spec constructor calls in a decorator keyword value (handles
+        ``ret=[spec, spec]``)."""
+        if isinstance(value, ast.Call) and _call_name(value.func) in _SPEC_CALLS:
+            return [value]
+        if isinstance(value, (ast.List, ast.Tuple)):
+            out = []
+            for element in value.elts:
+                out.extend(self._spec_calls(element))
+            return out
+        return []
+
+    def _spec_kwarg(self, spec: ast.Call, name: str) -> Optional[object]:
+        for kw in spec.keywords:
+            if kw.arg == name and isinstance(kw.value, ast.Constant):
+                return kw.value.value
+        return None
+
+    def check_contracts(self) -> None:
+        for fn in self.project.functions:
+            info = self.project.modules[fn.module]
+            node = fn.node
+            if fn.contract is None:
+                self._check_required(fn, info)
+                continue
+            params = self._param_names(node)
+            annotations = self._param_annotations(node)
+            for kw in fn.contract.keywords:
+                if kw.arg is None or kw.arg == "enforce":
+                    continue
+                if kw.arg == "ret":
+                    returns = getattr(node, "returns", None)
+                    for spec in self._spec_calls(kw.value):
+                        self._check_spec(fn, info, spec, returns, params, "return")
+                    continue
+                if kw.arg not in params:
+                    self._report(
+                        info,
+                        fn.contract,
+                        "RPL009",
+                        f"@array_contract on {fn.qualname} names unknown "
+                        f"parameter {kw.arg!r}",
+                    )
+                    continue
+                for spec in self._spec_calls(kw.value):
+                    self._check_spec(
+                        fn, info, spec, annotations.get(kw.arg), params, kw.arg
+                    )
+
+    def _check_required(self, fn: FunctionInfo, info: ModuleInfo) -> None:
+        node = fn.node
+        if fn.module not in CONTRACT_MODULES:
+            return
+        name = getattr(node, "name", "")
+        if name.startswith("_"):
+            return
+        if _decorator_names(node) & _EXEMPT_DECORATORS:
+            return
+        if "<locals>" in fn.qualname:
+            return
+        aliases = []
+        for annotation in self._param_annotations(node).values():
+            aliases.extend(self._annotation_aliases(annotation))
+        aliases.extend(self._annotation_aliases(getattr(node, "returns", None)))
+        if not aliases:
+            return
+        self._report(
+            info,
+            node,
+            "RPL009",
+            f"public function {fn.qualname} in {fn.module} uses the "
+            f"repro.types array aliases ({', '.join(sorted(set(aliases)))}) "
+            "but declares no @array_contract; declare one so the "
+            "REPRO_SANITIZE runtime checks cover this boundary",
+        )
+
+    def _check_spec(
+        self,
+        fn: FunctionInfo,
+        info: ModuleInfo,
+        spec: ast.Call,
+        annotation: Optional[ast.expr],
+        params: FrozenSet[str],
+        where: str,
+    ) -> None:
+        kind = _call_name(spec.func)
+        # Shape couplings must reference real parameters.
+        coupling = None
+        if kind == "ArraySpec":
+            coupling = self._spec_kwarg(spec, "same_length_as")
+        elif kind == "CSRSpec":
+            coupling = self._spec_kwarg(spec, "centers")
+        elif kind == "SameLength":
+            coupling = self._spec_kwarg(spec, "of")
+            if coupling is None and spec.args and isinstance(
+                spec.args[0], ast.Constant
+            ):
+                coupling = spec.args[0].value
+        if coupling is not None and coupling not in params:
+            self._report(
+                info,
+                spec,
+                "RPL009",
+                f"@array_contract on {fn.qualname}: {kind} couples "
+                f"{where} to unknown parameter {coupling!r}",
+            )
+        aliases = self._annotation_aliases(annotation)
+        if not aliases:
+            return
+        # Drilled specs validate a sub-object, not the annotated value.
+        if kind == "ArraySpec" and (
+            self._spec_kwarg(spec, "attr") is not None
+            or self._spec_kwarg(spec, "item") is not None
+        ):
+            return
+        if kind == "CSRSpec" and "CSRQuery" not in aliases:
+            self._report(
+                info,
+                spec,
+                "RPL009",
+                f"@array_contract on {fn.qualname}: {where} is declared "
+                "CSRSpec but its annotation is not CSRQuery",
+            )
+            return
+        if kind == "ArraySpec":
+            if "CSRQuery" in aliases and len(set(aliases)) == 1:
+                self._report(
+                    info,
+                    spec,
+                    "RPL009",
+                    f"@array_contract on {fn.qualname}: {where} is "
+                    "annotated CSRQuery but declared ArraySpec; use "
+                    "CSRSpec so the (indices, offsets) coupling is checked",
+                )
+                return
+            declared = self._spec_kwarg(spec, "dtype")
+            if declared is None:
+                return
+            implied = {
+                ALIAS_DTYPES[a] for a in aliases if a in ALIAS_DTYPES
+            }
+            if implied and declared not in implied:
+                alias_list = ", ".join(sorted(set(aliases)))
+                self._report(
+                    info,
+                    spec,
+                    "RPL009",
+                    f"@array_contract on {fn.qualname}: {where} declares "
+                    f"dtype {declared!r} but its annotation "
+                    f"({alias_list}) implies "
+                    f"{'/'.join(sorted(implied))} — the static and "
+                    "runtime contracts have drifted",
+                )
+
+    # -- RPL010: docs-drift gate ---------------------------------------
+
+    def check_obs_docs(self, doc_text: str, doc_path: str) -> None:
+        documented = self.project.documented_names
+        if not documented:
+            return
+        lines = doc_text.splitlines()
+        for name in sorted(documented):
+            if f"`{name}`" not in doc_text:
+                self._report(
+                    None,
+                    None,
+                    "RPL010",
+                    f"registered name {name!r} (repro.obs.names) is "
+                    f"missing from {doc_path}; document it in the metric "
+                    "catalogue",
+                    path=doc_path,
+                    line=1,
+                )
+        in_catalogue = False
+        known = documented | self.project.registry.get("SPAN_LABELS", frozenset())
+        for lineno, line in enumerate(lines, start=1):
+            if line.startswith("## "):
+                in_catalogue = line.strip().lower() == "## metric catalogue"
+                continue
+            if not in_catalogue:
+                continue
+            for token in re.findall(r"`([^`]+)`", line):
+                if not _DOC_METRIC_TOKEN.match(token):
+                    continue
+                if token.startswith("repro."):
+                    continue
+                if token not in known:
+                    self._report(
+                        None,
+                        None,
+                        "RPL010",
+                        f"{doc_path} documents {token!r} but it is not "
+                        "registered in repro.obs.names — fix the typo or "
+                        "register the name",
+                        path=doc_path,
+                        line=lineno,
+                    )
+
+
+def check_project(
+    project: Project,
+    select: Optional[Iterable[str]] = None,
+    obs_doc: Optional[Tuple[str, str]] = None,
+) -> List[Finding]:
+    """Run every cross-module rule over ``project``.
+
+    ``obs_doc`` is an optional ``(path, text)`` pair for the RPL010
+    docs-drift gate; omit it to skip the gate (e.g. fixture runs).
+    """
+    chosen = frozenset(select) if select is not None else None
+    checker = _Pass2(project, chosen)
+    checker.check_metric_names()
+    checker.check_contracts()
+    if obs_doc is not None:
+        doc_path, doc_text = obs_doc
+        checker.check_obs_docs(doc_text, doc_path)
+    return sorted(checker.findings, key=lambda f: (f.path, f.line, f.col, f.rule))

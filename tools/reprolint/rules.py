@@ -46,6 +46,28 @@ ALL_RULES: Dict[str, Tuple[str, str]] = {
         "direct stdlib timing call in src/repro outside repro.obs "
         "(route timing through repro.obs Timer/Span)",
     ),
+    "RPL007": (
+        "allow-dtype",
+        "array-constructing call in src/repro without an explicit "
+        "platform-stable dtype (int/np.int_ are int32 on Windows; "
+        "name np.int64/np.float64)",
+    ),
+    "RPL008": (
+        "allow-metric-name",
+        "obs metric/span name is not a string literal registered in "
+        "repro.obs.names (cross-module pass)",
+    ),
+    "RPL009": (
+        "allow-contract",
+        "public array-typed function missing an @array_contract, or a "
+        "declared contract contradicting the annotations "
+        "(cross-module pass)",
+    ),
+    "RPL010": (
+        "allow-obs-docs",
+        "metric catalogue drift between repro.obs.names and "
+        "docs/OBSERVABILITY.md (cross-module pass)",
+    ),
 }
 
 #: Modules whose per-element Python loops are the exact regressions the
@@ -110,6 +132,59 @@ _ORDER_FREE_CALLS: FrozenSet[str] = frozenset({"fsum", "sorted"})
 
 _MUTABLE_CALLS: FrozenSet[str] = frozenset(
     {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque", "OrderedDict"}
+)
+
+#: numpy array constructors whose default dtype is either inferred from
+#: the input or platform-dependent (C ``long``: int32 on Windows,
+#: int64 on Linux).  Every call in ``src/repro`` must pin the dtype
+#: explicitly so the int64 CSR/label contract holds on every platform.
+_ARRAY_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {
+        "array",
+        "asarray",
+        "ascontiguousarray",
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "arange",
+    }
+)
+
+#: Positional index of the ``dtype`` argument per constructor (``arange``
+#: omitted: its dtype position shifts with the start/stop/step forms, so
+#: only the keyword spelling is recognised there).
+_DTYPE_ARG_INDEX: Dict[str, int] = {
+    "array": 1,
+    "asarray": 1,
+    "ascontiguousarray": 1,
+    "empty": 1,
+    "zeros": 1,
+    "ones": 1,
+    "full": 2,
+}
+
+#: numpy dtype attributes aliased to C types whose width varies by
+#: platform/compiler.  ``np.int_``/``np.intp``/``np.long`` are the int32
+#: trap; the C-named aliases are banned wholesale for the same reason.
+_UNSTABLE_NP_DTYPES: FrozenSet[str] = frozenset(
+    {
+        "int_",
+        "intc",
+        "intp",
+        "uint",
+        "uintc",
+        "uintp",
+        "long",
+        "ulong",
+        "longlong",
+        "ulonglong",
+    }
+)
+
+#: dtype string spellings with the same platform dependence.
+_UNSTABLE_DTYPE_STRINGS: FrozenSet[str] = frozenset(
+    {"int", "uint", "intp", "uintp", "long", "ulong"}
 )
 
 #: ``time``-module clock functions.  Calling any of these directly in
@@ -189,6 +264,61 @@ def _pragmas_by_line(source: str) -> Tuple[Dict[int, FrozenSet[str]], FrozenSet[
             names = re.findall(r"allow-[a-z-]+", match.group(1))
             pragmas[lineno] = frozenset(names)
     return pragmas, frozenset(comment_lines)
+
+
+def decorator_lines_of(tree: ast.AST) -> FrozenSet[int]:
+    """Every source line occupied by a decorator in ``tree``.
+
+    The suppression walk skips through these so a pragma written above
+    a decorated ``def`` still covers findings anchored *inside* the
+    definition line (e.g. a mutable default argument).
+    """
+    lines = set()
+    for node in ast.walk(tree):
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            start = min(d.lineno for d in decorators)
+            lines.update(range(start, node.lineno))
+    return frozenset(lines)
+
+
+def is_suppressed(
+    node: ast.AST,
+    pragma: str,
+    pragmas: Dict[int, FrozenSet[str]],
+    comment_lines: FrozenSet[int],
+    decorator_lines: FrozenSet[int] = frozenset(),
+) -> bool:
+    """Is ``pragma`` in force for a finding anchored at ``node``?
+
+    A pragma suppresses when it sits (a) anywhere on the flagged
+    statement's own lines — for block statements (``for``/``def``/
+    ``with``…) the span ends at the header, so a pragma deep inside the
+    body cannot silence the header's finding, while a multi-line
+    expression counts in full — or (b) in the contiguous comment block
+    directly above; decorator lines are transparent to the upward walk,
+    so for decorated definitions the comment naturally sits above the
+    first decorator.
+    """
+    lineno = getattr(node, "lineno", 0)
+    start = lineno
+    decorators = getattr(node, "decorator_list", None)
+    if decorators:
+        start = min(d.lineno for d in decorators)
+    body = getattr(node, "body", None)
+    if isinstance(body, list) and body and hasattr(body[0], "lineno"):
+        span_end = body[0].lineno - 1
+    else:
+        span_end = getattr(node, "end_lineno", None) or lineno
+    for line in range(min(start, lineno), max(span_end, lineno) + 1):
+        if pragma in pragmas.get(line, frozenset()):
+            return True
+    line = start - 1
+    while line in comment_lines or line in decorator_lines:
+        if pragma in pragmas.get(line, frozenset()):
+            return True
+        line -= 1
+    return False
 
 
 def _is_lonlat_identifier(name: str) -> bool:
@@ -280,10 +410,12 @@ class _Checker(ast.NodeVisitor):
         comment_lines: FrozenSet[int] = frozenset(),
         select: Optional[FrozenSet[str]] = None,
         geo_imports: FrozenSet[str] = frozenset(),
+        decorator_lines: FrozenSet[int] = frozenset(),
     ) -> None:
         self.path = path
         self.pragmas = pragmas
         self.comment_lines = comment_lines
+        self.decorator_lines = decorator_lines
         self.select = select
         self.geo_imports = geo_imports
         self.findings: List[Finding] = []
@@ -294,20 +426,16 @@ class _Checker(ast.NodeVisitor):
         # RPL006 covers the whole repro package except repro.obs, the
         # sanctioned timing layer itself.
         self.timing_scoped = subpackage is not None and subpackage != "obs"
+        # RPL007 covers the whole repro package: dtype discipline is a
+        # repo-wide contract, not a per-subsystem one.
+        self.in_repro = subpackage is not None
 
     # -- bookkeeping ---------------------------------------------------
 
     def _suppressed(self, node: ast.AST, pragma: str) -> bool:
-        lineno = getattr(node, "lineno", 0)
-        if pragma in self.pragmas.get(lineno, frozenset()):
-            return True
-        # Walk the contiguous comment block directly above the statement.
-        line = lineno - 1
-        while line in self.comment_lines:
-            if pragma in self.pragmas.get(line, frozenset()):
-                return True
-            line -= 1
-        return False
+        return is_suppressed(
+            node, pragma, self.pragmas, self.comment_lines, self.decorator_lines
+        )
 
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
         if self.select is not None and rule not in self.select:
@@ -366,6 +494,8 @@ class _Checker(ast.NodeVisitor):
             self._check_unordered_reduction(node)
         # RPL004: legacy numpy random API.
         self._check_legacy_random(node.func, dotted)
+        # RPL007: explicit platform-stable dtypes on array constructors.
+        self._check_dtype_discipline(node, name, dotted)
         # RPL006: direct timing calls bypass the observability layer.
         if (
             self.timing_scoped
@@ -426,6 +556,69 @@ class _Checker(ast.NodeVisitor):
                 "sum() over an unordered set/dict.values() in repro.core is "
                 "order-sensitive float accumulation; use math.fsum "
                 "(order-independent) or iterate sorted(...)",
+            )
+
+    # -- RPL007: explicit platform-stable dtypes -----------------------
+
+    def _check_dtype_discipline(
+        self, node: ast.Call, name: str, dotted: str
+    ) -> None:
+        if not self.in_repro:
+            return
+        is_np_ctor = name in _ARRAY_CONSTRUCTORS and dotted.split(".")[:-1] in (
+            ["np"],
+            ["numpy"],
+        )
+        is_astype = name == "astype" and isinstance(node.func, ast.Attribute)
+        if not (is_np_ctor or is_astype):
+            return
+        dtype_expr: Optional[ast.expr] = None
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                dtype_expr = kw.value
+                break
+        if dtype_expr is None:
+            if is_astype:
+                if node.args:
+                    dtype_expr = node.args[0]
+            else:
+                idx = _DTYPE_ARG_INDEX.get(name)
+                if idx is not None and len(node.args) > idx:
+                    dtype_expr = node.args[idx]
+        label = f"np.{name}" if is_np_ctor else ".astype"
+        if dtype_expr is None:
+            self._report(
+                node,
+                "RPL007",
+                f"{label}() without an explicit dtype; the inferred "
+                "default is platform-dependent (C long is int32 on "
+                "Windows) — name np.int64/np.float64",
+            )
+            return
+        unstable: Optional[str] = None
+        if isinstance(dtype_expr, ast.Name) and dtype_expr.id == "int":
+            unstable = "int"
+        elif isinstance(dtype_expr, ast.Attribute):
+            dtype_dotted = _dotted(dtype_expr)
+            parts = dtype_dotted.split(".")
+            if (
+                parts[0] in ("np", "numpy")
+                and parts[-1] in _UNSTABLE_NP_DTYPES
+            ):
+                unstable = dtype_dotted
+        elif (
+            isinstance(dtype_expr, ast.Constant)
+            and isinstance(dtype_expr.value, str)
+            and dtype_expr.value in _UNSTABLE_DTYPE_STRINGS
+        ):
+            unstable = repr(dtype_expr.value)
+        if unstable is not None:
+            self._report(
+                node,
+                "RPL007",
+                f"{label}(dtype={unstable}) is platform-dependent "
+                "(int32 on Windows, int64 on Linux); name np.int64 "
+                "explicitly",
             )
 
     # -- RPL004: legacy numpy random -----------------------------------
@@ -525,6 +718,7 @@ def check_source(
         comment_lines,
         select=frozenset(select) if select is not None else None,
         geo_imports=_geo_imported_names(tree),
+        decorator_lines=decorator_lines_of(tree),
     )
     checker.visit(tree)
     return sorted(checker.findings, key=lambda f: (f.line, f.col, f.rule))
