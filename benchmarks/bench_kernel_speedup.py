@@ -176,19 +176,29 @@ def main(argv=None):
         f"identical={mp_flat == rec_batch})"
     )
 
-    # Observability: t_rec_batch above ran with the registry disabled
-    # (the default), so it already includes the no-op instrumentation
-    # cost; re-time with metrics enabled to bound the *enabled* cost
-    # and collect the stage-level attribution snapshot.
+    # Observability: time the registry-disabled and registry-enabled
+    # paths as one freshly-warmed back-to-back pair.  Comparing against
+    # the *earlier* t_rec_batch measurement used to report a negative
+    # overhead (-4%): the interpreter, allocator, and CPU state had
+    # drifted across the intervening n_jobs run, which is exactly the
+    # kind of cross-measurement noise a relative overhead must exclude.
     registry = obs.get_registry()
+    registry.reset()
+    recognizer.recognize_points(stays)  # warm the disabled path
+    obs.enable()
+    recognizer.recognize_points(stays)  # warm the enabled path
+    obs.disable()
+    rec_plain, t_rec_disabled = timed(recognizer.recognize_points, stays)
     registry.reset()
     obs.enable()
     rec_obs, t_rec_enabled = timed(recognizer.recognize_points, stays)
     metrics = obs.report()
     obs.disable()
-    enabled_overhead = t_rec_enabled / t_rec_batch - 1.0
+    # Clamp at zero: the true no-op-wrapper overhead cannot be negative,
+    # so any residual negative reading is measurement noise.
+    enabled_overhead = max(0.0, t_rec_enabled / t_rec_disabled - 1.0)
     print(
-        f"observability: recognition disabled {t_rec_batch:.3f}s  "
+        f"observability: recognition disabled {t_rec_disabled:.3f}s  "
         f"enabled {t_rec_enabled:.3f}s  "
         f"enabled_overhead {enabled_overhead * 100:+.1f}%  "
         f"identical={rec_obs == rec_batch}"
@@ -217,10 +227,12 @@ def main(argv=None):
         },
         "csd_build_s": round(t_build, 4),
         "observability": {
-            "recognition_disabled_s": round(t_rec_batch, 4),
+            "recognition_disabled_s": round(t_rec_disabled, 4),
             "recognition_enabled_s": round(t_rec_enabled, 4),
             "enabled_overhead": round(enabled_overhead, 4),
-            "identical": bool(rec_obs == rec_batch),
+            "identical": bool(
+                rec_obs == rec_batch and rec_plain == rec_batch
+            ),
         },
         "metrics": metrics,
     }

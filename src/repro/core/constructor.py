@@ -13,7 +13,6 @@ corpus of stay points:
 
 from __future__ import annotations
 
-from collections import deque
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -59,53 +58,86 @@ def popularity_based_clustering(
     pop = np.asarray(popularity, dtype=float)
     if len(tags) != n or len(pop) != n:
         raise ValueError("poi arrays must align")
+    if n == 0:
+        return [], []
 
     index = GridIndex(pts, cell_size=max(config.eps_p_m, 1.0))
     # Every neighbourhood Algorithm 1 ever asks for is an eps_p query
     # anchored at an indexed POI, so prefetch them all in one batched
     # CSR query instead of re-querying per visited point.
     nbr_idx, nbr_off = index.query_radius_many(pts, config.eps_p_m)
+    # Integer tag codes so the per-frontier semantics test is an array
+    # compare, not n string comparisons.
+    tag_codes = np.unique(np.asarray(tags, dtype=object), return_inverse=True)[1]
     remaining = np.ones(n, dtype=bool)
+    # Per-seed visited marker without a per-seed O(n) allocation:
+    # ``stamp[k] == seed`` means k was already considered for this seed.
+    stamp = np.full(n, -1, dtype=np.int64)
+    d_v2 = config.d_v_m ** 2
     clusters: List[List[int]] = []
     leftovers: List[int] = []
+    rounds = 0
+    candidates_tested = 0
 
     for seed in range(n):
         if not remaining[seed]:
             continue
         remaining[seed] = False
-        cluster = [seed]
-        seed_pop = pop[seed]
-        seed_tag = tags[seed]
-        sx, sy = pts[seed]
-        queue = deque(
-            int(j)
-            for j in nbr_idx[nbr_off[seed] : nbr_off[seed + 1]]
-            if remaining[j]
-        )
-        queued = set(queue)
-        while queue:
-            j = queue.popleft()
-            if not remaining[j]:
-                continue
-            if not _popularity_compatible(
-                seed_pop, pop[j], config.alpha, config.pop_epsilon
-            ):
-                continue
-            d2 = (pts[j, 0] - sx) ** 2 + (pts[j, 1] - sy) ** 2
-            if d2 > config.d_v_m ** 2 and tags[j] != seed_tag:
-                continue
-            remaining[j] = False
-            cluster.append(j)
-            for k in nbr_idx[nbr_off[j] : nbr_off[j + 1]]:
-                k = int(k)
-                if remaining[k] and k not in queued:
-                    queued.add(k)
-                    queue.append(k)
+        stamp[seed] = seed
+        members = [np.array([seed], dtype=np.int64)]
+        # Level-synchronous BFS.  Every candidate is tested against the
+        # *seed* (Algorithm 1 anchors the popularity band and the
+        # semantics at the seed POI), so acceptance is independent of
+        # visit order and whole frontiers can be tested as one array —
+        # the cluster is the same closure the old per-point deque walk
+        # produced, point for point.
+        frontier = nbr_idx[nbr_off[seed] : nbr_off[seed + 1]]
+        frontier = frontier[remaining[frontier] & (stamp[frontier] != seed)]
+        while len(frontier):
+            rounds += 1
+            candidates_tested += len(frontier)
+            stamp[frontier] = seed
+            hi = np.maximum(pop[seed], pop[frontier]) + config.pop_epsilon
+            lo = np.minimum(pop[seed], pop[frontier]) + config.pop_epsilon
+            # Same division as _popularity_compatible — ``lo >= alpha *
+            # hi`` is *not* always IEEE-equal, and clustering must stay
+            # bit-identical to the scalar walk.
+            ok = lo / hi >= config.alpha
+            delta = pts[frontier] - pts[seed]
+            d2 = delta[:, 0] ** 2 + delta[:, 1] ** 2
+            ok &= (d2 <= d_v2) | (tag_codes[frontier] == tag_codes[seed])
+            accepted = frontier[ok]
+            if len(accepted) == 0:
+                break
+            remaining[accepted] = False
+            members.append(accepted)
+            # CSR multi-gather of the accepted points' neighbourhoods.
+            starts = nbr_off[accepted]
+            counts = nbr_off[accepted + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            base = np.zeros(len(counts), dtype=np.int64)
+            np.cumsum(counts[:-1], out=base[1:])
+            positions = (
+                np.arange(total, dtype=np.int64)
+                + np.repeat(starts - base, counts)
+            )
+            nxt = nbr_idx[positions]
+            nxt = nxt[remaining[nxt] & (stamp[nxt] != seed)]
+            frontier = np.unique(nxt)
+        cluster = np.concatenate(members)
         if len(cluster) >= config.min_pts:
-            clusters.append(sorted(cluster))
+            clusters.append([int(i) for i in np.sort(cluster)])
         else:
-            leftovers.extend(cluster)
+            leftovers.extend(int(i) for i in cluster)
 
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("constructor.clustering.rounds").inc(rounds)
+        reg.counter("constructor.clustering.candidates").inc(
+            candidates_tested
+        )
     leftovers.extend(int(i) for i in np.flatnonzero(remaining))
     return clusters, sorted(leftovers)
 
@@ -116,7 +148,11 @@ def _popularity_compatible(
     """Two-sided ratio test of Algorithm 1 line 5, smoothed near zero.
 
     ``epsilon`` keeps the test meaningful for barely-visited POIs where
-    the raw ratio of two tiny popularities is pure noise.
+    the raw ratio of two tiny popularities is pure noise.  The frontier
+    loop in :func:`popularity_based_clustering` applies this same test
+    vectorised (same ``lo / hi`` division, element for element); this
+    scalar form is the documented reference and is what the unit tests
+    exercise directly.
     """
     hi = max(pop_a, pop_b) + epsilon
     lo = min(pop_a, pop_b) + epsilon

@@ -109,6 +109,15 @@ class CitySemanticDiagram:
         """
         return self._index.query_radius_many(xy, radius)
 
+    @property
+    def grid_index(self) -> GridIndex:
+        """The CSD's POI grid index (read-only; built at construction).
+
+        Exposed so ``repro.parallel`` can export the index's CSR state
+        into shared memory without rebuilding it per worker.
+        """
+        return self._index
+
     def poi_tags(self) -> List[str]:
         """All POI tags at this diagram's granularity (cached)."""
         if self._poi_tags is None:

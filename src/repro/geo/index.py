@@ -19,15 +19,41 @@ merging run at hardware speed instead of interpreter speed.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.contracts import ArraySpec, CSRSpec, array_contract
 from repro.obs import get_registry
-from repro.types import CSRQuery, IndexArray, MetersArray
+from repro.types import CSRQuery, Float64Array, IndexArray, MetersArray
 
 #: Cap on candidate window cells (batch path) or pairwise distances
 #: (brute path) materialised per chunk; bounds peak query memory.
 _CHUNK_BUDGET = 4_194_304
+
+
+@dataclass(frozen=True)
+class GridCSRState:
+    """The complete post-construction state of a :class:`GridIndex`.
+
+    ``repro.parallel`` exports these arrays into shared memory so worker
+    processes can rebuild the index with :meth:`GridIndex.from_csr_state`
+    without re-sorting (or even copying) anything.  The arrays are the
+    index's *live* internals — treat them as read-only.
+    """
+
+    xy: MetersArray
+    order: IndexArray
+    codes: IndexArray
+    xs: Float64Array
+    ys: Float64Array
+    cell: float
+    gx_lo: int
+    gx_hi: int
+    gy_lo: int
+    gy_hi: int
+    ny: int
+    n_cells: int
 
 
 class GridIndex:
@@ -78,6 +104,54 @@ class GridIndex:
 
     def __len__(self) -> int:
         return len(self._xy)
+
+    def csr_state(self) -> GridCSRState:
+        """Snapshot of the built index for zero-copy reconstruction.
+
+        The returned arrays are the index's own internals (no copies);
+        callers must not mutate them.  Feed the state — e.g. after
+        round-tripping the arrays through ``multiprocessing.
+        shared_memory`` — to :meth:`from_csr_state` to rebuild an
+        identical index without paying the ``O(n log n)`` sort again.
+        """
+        return GridCSRState(
+            xy=self._xy,
+            order=self._order,
+            codes=self._codes,
+            xs=self._xs,
+            ys=self._ys,
+            cell=self._cell,
+            gx_lo=self._gx_lo,
+            gx_hi=self._gx_hi,
+            gy_lo=self._gy_lo,
+            gy_hi=self._gy_hi,
+            ny=self._ny,
+            n_cells=self._n_cells,
+        )
+
+    @classmethod
+    def from_csr_state(cls, state: GridCSRState) -> "GridIndex":
+        """Rebuild an index from :meth:`csr_state` output, zero-copy.
+
+        The constructor's argsort and per-axis gathers are skipped
+        entirely; the provided arrays are adopted as-is (views over
+        shared-memory buffers are fine).  Queries on the rebuilt index
+        are bit-identical to the original.
+        """
+        obj = cls.__new__(cls)
+        obj._xy = np.asarray(state.xy, dtype=np.float64).reshape(-1, 2)
+        obj._cell = float(state.cell)
+        obj._order = np.asarray(state.order, dtype=np.int64)
+        obj._codes = np.asarray(state.codes, dtype=np.int64)
+        obj._xs = np.asarray(state.xs, dtype=np.float64)
+        obj._ys = np.asarray(state.ys, dtype=np.float64)
+        obj._gx_lo = int(state.gx_lo)
+        obj._gx_hi = int(state.gx_hi)
+        obj._gy_lo = int(state.gy_lo)
+        obj._gy_hi = int(state.gy_hi)
+        obj._ny = int(state.ny)
+        obj._n_cells = int(state.n_cells)
+        return obj
 
     @property
     def points(self) -> MetersArray:

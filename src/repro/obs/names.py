@@ -46,6 +46,8 @@ COUNTERS: FrozenSet[str] = frozenset(
         "constructor.units.coarse",
         "constructor.units.pure",
         "constructor.units.final",
+        "constructor.clustering.rounds",
+        "constructor.clustering.candidates",
         "contracts.checks",
         "contracts.violations",
         "extraction.sequences.mined",

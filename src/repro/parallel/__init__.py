@@ -1,0 +1,53 @@
+"""Shared-memory parallel execution layer (``docs/PARALLELISM.md``).
+
+``repro.parallel`` is the only place in the codebase allowed to create
+worker pools (reprolint rule RPL011 enforces this).  It provides:
+
+* :class:`SharedCSD` / :class:`SharedArrayPack` — export the
+  recognition kernel's arrays into ``multiprocessing.shared_memory``
+  with guaranteed unlink (context manager + atexit backstop),
+* :func:`attach_csd` / :func:`attach_pack` — zero-copy worker-side
+  views, cached per process,
+* :func:`recognize_parallel` — the chunk fan-out behind
+  ``CSDRecognizer.recognize(..., n_jobs=N)``, bit-identical to serial,
+* :func:`get_pool` / :func:`shutdown_pools` — the persistent
+  ``ProcessPoolExecutor`` registry.
+"""
+
+from repro.parallel.pool import (
+    FAULT_POINTS,
+    WorkerCrash,
+    get_pool,
+    recognize_parallel,
+    shutdown_pools,
+)
+from repro.parallel.shm import (
+    ArrayBlock,
+    CSDArrayView,
+    CSDHandle,
+    PackHandle,
+    SharedArrayPack,
+    SharedCSD,
+    attach_csd,
+    attach_pack,
+    detach_all,
+    live_segment_names,
+)
+
+__all__ = [
+    "ArrayBlock",
+    "CSDArrayView",
+    "CSDHandle",
+    "FAULT_POINTS",
+    "PackHandle",
+    "SharedArrayPack",
+    "SharedCSD",
+    "WorkerCrash",
+    "attach_csd",
+    "attach_pack",
+    "detach_all",
+    "get_pool",
+    "live_segment_names",
+    "recognize_parallel",
+    "shutdown_pools",
+]

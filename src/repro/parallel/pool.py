@@ -1,0 +1,201 @@
+"""Persistent worker pool driving :func:`vote_stays` over shared memory.
+
+The execution model (see ``docs/PARALLELISM.md``):
+
+1. the parent exports the CSD arrays and the projected stay
+   coordinates into shared memory (:mod:`repro.parallel.shm`),
+2. each worker receives only the pickle-cheap handles plus a
+   ``[start, stop)`` chunk, attaches the segments lazily (once per
+   process, cached), and runs the pure-numpy
+   :func:`repro.core.recognition.vote_stays` kernel over its slice,
+3. the parent concatenates the per-chunk numeric results — shifting
+   ``win_stay`` by each chunk's base offset — and assembles the
+   Python-object semantics once.
+
+Because votes for different stay points never interact and the kernel
+accumulates per stay in hit order, the concatenation is bit-identical
+to one big serial batch.
+
+Pools are persistent: ``ProcessPoolExecutor`` instances are kept per
+worker count and reused across calls, so repeated ``recognize(...,
+n_jobs=N)`` calls pay process start-up once.  A worker dying mid-task
+(simulated via the ``FAULT_POINTS`` hooks, same style as
+``repro.runner``) surfaces as :class:`WorkerCrash`; the broken pool is
+disposed so the next call starts clean, and the exporting context
+managers still unlink every segment.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.recognition import CSDRecognizer, vote_stays
+from repro.data.trajectory import SemanticProperty, StayPoint
+from repro.parallel.shm import (
+    CSDHandle,
+    PackHandle,
+    SharedArrayPack,
+    SharedCSD,
+    attach_csd,
+    attach_pack,
+)
+from repro.types import IndexArray
+
+__all__ = [
+    "FAULT_POINTS",
+    "WorkerCrash",
+    "get_pool",
+    "shutdown_pools",
+    "recognize_parallel",
+]
+
+#: Named points inside the worker where tests may inject a hard death
+#: (``os._exit``), in execution order — same announcement style as
+#: :data:`repro.runner.runner.FAULT_POINTS`.
+FAULT_POINTS = (
+    "worker-start",
+    "worker-attach",
+    "worker-vote",
+)
+
+
+class WorkerCrash(RuntimeError):
+    """A pool worker died before returning its chunk.
+
+    Raised in place of ``concurrent.futures.process.BrokenProcessPool``
+    so callers get a repro-namespaced, documented failure mode.  The
+    shared-memory segments for the call are already unlinked when this
+    propagates (the exporting context managers run on the exception
+    path), and the broken pool has been disposed.
+    """
+
+
+#: Live executors keyed by worker count; reused across recognition
+#: calls so fork/start-up cost is paid once per process count.
+_EXECUTORS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def get_pool(n_workers: int) -> ProcessPoolExecutor:
+    """The persistent executor for ``n_workers`` (created on first use)."""
+    if n_workers < 1:
+        raise ValueError("n_workers must be at least 1")
+    pool = _EXECUTORS.get(n_workers)
+    if pool is None:
+        # fork, explicitly: children share the parent's resource
+        # tracker, which makes register-on-attach (bpo-39959) a
+        # harmless duplicate instead of a second owner — see
+        # repro.parallel.shm.  Also the cheapest start method here.
+        pool = ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=multiprocessing.get_context("fork"),
+        )
+        _EXECUTORS[n_workers] = pool
+    return pool
+
+
+def _dispose_pool(n_workers: int) -> None:
+    pool = _EXECUTORS.pop(n_workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Shut down every persistent executor (idempotent; atexit hook)."""
+    for n_workers in list(_EXECUTORS):
+        _dispose_pool(n_workers)
+
+
+atexit.register(shutdown_pools)
+
+
+def _fault(fault: Optional[str], point: str) -> None:
+    """Die the hard way — ``os._exit`` skips all cleanup, exactly like
+    an OOM kill — when the injected fault names this point."""
+    if fault == point:
+        os._exit(17)
+
+
+def _vote_worker(
+    csd_handle: CSDHandle,
+    stays_handle: PackHandle,
+    start: int,
+    stop: int,
+    r3sigma_m: float,
+    use_float32: bool,
+    fault: Optional[str],
+) -> Tuple[IndexArray, IndexArray, IndexArray]:
+    """One chunk of :func:`vote_stays` inside a worker process.
+
+    Attaches both packs (cached after the first task per process), runs
+    the kernel over ``stay_xy[start:stop]``, and returns the three small
+    int64 arrays — chunk-local ``win_stay``; the parent rebases them.
+    """
+    _fault(fault, "worker-start")
+    source = attach_csd(csd_handle)
+    stay_xy = attach_pack(stays_handle)["stay_xy"]
+    _fault(fault, "worker-attach")
+    result = vote_stays(source, stay_xy[start:stop], r3sigma_m, use_float32)
+    _fault(fault, "worker-vote")
+    return result
+
+
+def recognize_parallel(
+    recognizer: CSDRecognizer,
+    stay_points: Sequence[StayPoint],
+    bounds: IndexArray,
+    fault: Optional[str] = None,
+) -> List[SemanticProperty]:
+    """Fan the voting kernel out over the persistent worker pool.
+
+    ``bounds`` are the ``k + 1`` chunk boundaries from
+    :func:`repro.core.recognition.chunk_bounds` (``k >= 2`` chunks; the
+    caller stays serial otherwise).  The CSD export and the projected
+    stay coordinates live in shared memory only for the duration of the
+    call — both ``with`` blocks unlink on every exit path, including
+    :class:`WorkerCrash`.
+    """
+    n_chunks = len(bounds) - 1
+    if n_chunks < 2:
+        raise ValueError("recognize_parallel needs at least 2 chunks")
+    xy = recognizer.project_stays(stay_points)
+    use_float32 = recognizer.query_dtype == "float32"
+    pool = get_pool(n_chunks)
+    with SharedCSD.export(recognizer.csd) as shared_csd, SharedArrayPack(
+        {"stay_xy": xy}, label="stays"
+    ) as shared_stays:
+        csd_handle = shared_csd.handle()
+        stays_handle = shared_stays.handle()
+        futures = [
+            pool.submit(
+                _vote_worker,
+                csd_handle,
+                stays_handle,
+                int(bounds[i]),
+                int(bounds[i + 1]),
+                recognizer.r3sigma_m,
+                use_float32,
+                fault,
+            )
+            for i in range(n_chunks)
+        ]
+        try:
+            chunks = [f.result() for f in futures]
+        except BrokenProcessPool as exc:
+            _dispose_pool(n_chunks)
+            raise WorkerCrash(
+                f"a recognition worker died mid-chunk ({n_chunks} chunks "
+                f"in flight); segments unlinked, pool disposed"
+            ) from exc
+    winner_of = np.concatenate([c[0] for c in chunks])
+    win_stay = np.concatenate(
+        [c[1] + int(bounds[i]) for i, c in enumerate(chunks)]
+    )
+    win_poi = np.concatenate([c[2] for c in chunks])
+    return recognizer.assemble_semantics(winner_of, win_stay, win_poi)

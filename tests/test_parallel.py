@@ -1,0 +1,223 @@
+"""repro.parallel: shared-memory lifecycle, chunking, and equivalence.
+
+Three invariant families:
+
+1. **No leaked segments** — every exit path (normal ``with`` exit,
+   exception inside the block, a worker hard-killed mid-task) leaves
+   ``live_segment_names()`` empty and the segments unattachable.
+2. **Chunking** — ``chunk_bounds`` never produces an empty chunk and
+   respects the per-job minimum *after* rounding (the regression that
+   motivated it).
+3. **Equivalence** — ``recognize(..., n_jobs=N)`` and the opt-in
+   float32 voting path produce results identical to the serial float64
+   oracle on the standard workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.recognition as recognition_mod
+from repro.core.recognition import CSDRecognizer, chunk_bounds, vote_stays
+from repro.parallel import (
+    SharedArrayPack,
+    SharedCSD,
+    WorkerCrash,
+    attach_csd,
+    attach_pack,
+    live_segment_names,
+    recognize_parallel,
+)
+
+
+@pytest.fixture
+def flat_stays(small_trajectories):
+    return [sp for st in small_trajectories for sp in st.stay_points]
+
+
+def _first_segment_name(pack):
+    return pack.handle().blocks[0][1].shm_name
+
+
+class TestChunkBounds:
+    def test_single_chunk_when_too_small(self):
+        bounds = chunk_bounds(100, n_jobs=4, min_per_job=512)
+        assert bounds.tolist() == [0, 100]
+
+    def test_no_empty_chunks_after_rounding(self):
+        # The regression: just above the threshold, linspace rounding
+        # used to shave a chunk below min_per_job (or to zero).
+        for n_items in (513, 1023, 1025, 4096, 4097):
+            for n_jobs in (2, 3, 4, 7):
+                bounds = chunk_bounds(n_items, n_jobs, min_per_job=512)
+                sizes = np.diff(bounds)
+                assert (sizes > 0).all(), (n_items, n_jobs, bounds)
+                if len(sizes) > 1:
+                    assert (sizes >= 512).all(), (n_items, n_jobs, bounds)
+
+    def test_covers_exactly_once(self):
+        bounds = chunk_bounds(10_000, 4, min_per_job=512)
+        assert bounds[0] == 0 and bounds[-1] == 10_000
+        assert (np.diff(bounds) > 0).all()
+        assert len(bounds) == 5
+
+    def test_fewer_items_than_jobs(self):
+        bounds = chunk_bounds(3, n_jobs=8, min_per_job=1)
+        sizes = np.diff(bounds)
+        assert bounds[0] == 0 and bounds[-1] == 3
+        assert (sizes > 0).all()
+
+    def test_zero_items(self):
+        assert chunk_bounds(0, 4).tolist() == [0]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            chunk_bounds(10, 0)
+        with pytest.raises(ValueError):
+            chunk_bounds(10, 2, min_per_job=0)
+
+
+class TestSharedMemoryLifecycle:
+    def test_roundtrip_is_exact_and_readonly(self):
+        rng = np.random.default_rng(0)
+        arrays = {
+            "a": rng.normal(size=(50, 2)),
+            "b": np.arange(7, dtype=np.int64),
+            "empty": np.empty(0, dtype=np.float64),
+        }
+        with SharedArrayPack(arrays, label="t") as pack:
+            views = attach_pack(pack.handle())
+            for key, arr in arrays.items():
+                np.testing.assert_array_equal(views[key], arr)
+                assert views[key].dtype == arr.dtype
+                assert not views[key].flags.writeable
+
+    def test_unlink_on_normal_exit(self):
+        with SharedArrayPack({"a": np.ones(4)}, label="t") as pack:
+            name = _first_segment_name(pack)
+            assert name in live_segment_names()
+        assert live_segment_names() == []
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_unlink_on_exception_in_context(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with SharedArrayPack({"a": np.ones(4)}, label="t") as pack:
+                name = _first_segment_name(pack)
+                raise RuntimeError("boom")
+        assert live_segment_names() == []
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_unlink_is_idempotent(self):
+        pack = SharedArrayPack({"a": np.ones(4)}, label="t")
+        pack.unlink()
+        pack.unlink()
+        assert live_segment_names() == []
+
+    def test_csd_export_roundtrip_votes_identically(
+        self, small_csd, small_csd_config, flat_stays
+    ):
+        recognizer = CSDRecognizer(small_csd, small_csd_config.r3sigma_m)
+        xy = recognizer.project_stays(flat_stays)
+        expected = vote_stays(small_csd, xy, recognizer.r3sigma_m)
+        with SharedCSD.export(small_csd) as shared:
+            view = attach_csd(shared.handle())
+            got = vote_stays(view, xy, recognizer.r3sigma_m)
+            for e, g in zip(expected, got):
+                np.testing.assert_array_equal(e, g)
+        assert live_segment_names() == []
+
+    def test_unlink_on_worker_death(
+        self, small_csd, small_csd_config, flat_stays
+    ):
+        """A worker dying mid-vote must not leak segments or hang."""
+        recognizer = CSDRecognizer(small_csd, small_csd_config.r3sigma_m)
+        bounds = np.array([0, len(flat_stays) // 2, len(flat_stays)])
+        with pytest.raises(WorkerCrash):
+            recognize_parallel(
+                recognizer, flat_stays, bounds, fault="worker-vote"
+            )
+        assert live_segment_names() == []
+
+    def test_pool_recovers_after_worker_death(
+        self, small_csd, small_csd_config, flat_stays, small_recognized
+    ):
+        recognizer = CSDRecognizer(small_csd, small_csd_config.r3sigma_m)
+        bounds = np.array([0, len(flat_stays) // 2, len(flat_stays)])
+        with pytest.raises(WorkerCrash):
+            recognize_parallel(
+                recognizer, flat_stays, bounds, fault="worker-start"
+            )
+        props = recognize_parallel(recognizer, flat_stays, bounds)
+        expected = [
+            sp.semantics for st in small_recognized for sp in st.stay_points
+        ]
+        assert props == expected
+        assert live_segment_names() == []
+
+
+class TestParallelEquivalence:
+    def test_recognize_parallel_matches_serial(
+        self, small_csd, small_csd_config, flat_stays
+    ):
+        recognizer = CSDRecognizer(small_csd, small_csd_config.r3sigma_m)
+        serial = recognizer.recognize_points(flat_stays)
+        for n_chunks in (2, 3):
+            bounds = chunk_bounds(
+                len(flat_stays), n_chunks, min_per_job=1
+            )
+            assert len(bounds) == n_chunks + 1
+            parallel = recognize_parallel(recognizer, flat_stays, bounds)
+            assert parallel == serial
+        assert live_segment_names() == []
+
+    def test_recognize_n_jobs_bit_identical(
+        self, small_csd, small_csd_config, small_trajectories, monkeypatch
+    ):
+        monkeypatch.setattr(recognition_mod, "_MIN_STAYS_PER_JOB", 1)
+        recognizer = CSDRecognizer(small_csd, small_csd_config.r3sigma_m)
+        serial = recognizer.recognize(small_trajectories, n_jobs=1)
+        fanned = recognizer.recognize(small_trajectories, n_jobs=2)
+        assert len(serial) == len(fanned)
+        for a, b in zip(serial, fanned):
+            assert a.traj_id == b.traj_id
+            assert [sp.semantics for sp in a.stay_points] == [
+                sp.semantics for sp in b.stay_points
+            ]
+        assert live_segment_names() == []
+
+
+class TestFloat32Voting:
+    def test_float32_identical_unit_assignments(
+        self, small_csd, small_csd_config, flat_stays
+    ):
+        """The standard workload's vote margins dwarf float32 noise, so
+        the fast path must pick the same winning unit for every stay."""
+        recognizer = CSDRecognizer(small_csd, small_csd_config.r3sigma_m)
+        xy = recognizer.project_stays(flat_stays)
+        w64, _, _ = vote_stays(small_csd, xy, recognizer.r3sigma_m)
+        w32, _, _ = vote_stays(
+            small_csd, xy, recognizer.r3sigma_m, use_float32=True
+        )
+        np.testing.assert_array_equal(w32, w64)
+
+    def test_float32_recognizer_matches_float64(
+        self, small_csd, small_csd_config, flat_stays
+    ):
+        base = CSDRecognizer(small_csd, small_csd_config.r3sigma_m)
+        fast = CSDRecognizer(
+            small_csd, small_csd_config.r3sigma_m, query_dtype="float32"
+        )
+        assert fast.recognize_points(flat_stays) == base.recognize_points(
+            flat_stays
+        )
+
+    def test_rejects_unknown_query_dtype(self, small_csd):
+        with pytest.raises(ValueError, match="query_dtype"):
+            CSDRecognizer(small_csd, 100.0, query_dtype="float16")

@@ -343,6 +343,65 @@ class TestRPL007DtypeDiscipline:
         assert check_source(code, path=CORE) == []
 
 
+class TestRPL011PoolOutsideParallel:
+    def test_fires_on_multiprocessing_pool_in_core(self):
+        code = (
+            "import multiprocessing\n"
+            "def f():\n"
+            "    with multiprocessing.Pool(4) as pool:\n"
+            "        return pool\n"
+        )
+        assert "RPL011" in rules_of(check_source(code, path=CORE))
+
+    def test_fires_on_bare_pool_import_in_data(self):
+        code = (
+            "from multiprocessing import Pool\n"
+            "def f():\n"
+            "    return Pool(2)\n"
+        )
+        assert "RPL011" in rules_of(check_source(code, path=DATA))
+
+    def test_fires_on_process_pool_executor_in_geo(self):
+        code = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def f():\n"
+            "    return ProcessPoolExecutor(max_workers=2)\n"
+        )
+        assert "RPL011" in rules_of(check_source(code, path=GEO))
+
+    def test_silent_inside_repro_parallel(self):
+        code = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def f():\n"
+            "    return ProcessPoolExecutor(max_workers=2)\n"
+        )
+        assert check_source(code, path="src/repro/parallel/pool.py") == []
+
+    def test_silent_outside_repro_package(self):
+        # Benchmarks and tools may drive pools directly.
+        code = (
+            "from multiprocessing import Pool\n"
+            "def f():\n"
+            "    return Pool(2)\n"
+        )
+        assert check_source(code, path="benchmarks/bench_example.py") == []
+        assert check_source(code, path="tools/example.py") == []
+
+    def test_silent_on_unrelated_pool_name(self):
+        # Only constructor *calls* are flagged, not arbitrary names.
+        code = "def f(pool):\n    return pool.map(len, [])\n"
+        assert check_source(code, path=CORE) == []
+
+    def test_pragma_suppresses(self):
+        code = (
+            "from multiprocessing import Pool\n"
+            "def f():\n"
+            "    # reprolint: allow-pool -- migration shim, tracked in #12\n"
+            "    return Pool(2)\n"
+        )
+        assert check_source(code, path=CORE) == []
+
+
 class TestEngine:
     def test_syntax_error_reported_as_rpl000(self):
         findings = check_source("def f(:\n", path=DATA)
@@ -458,7 +517,8 @@ class TestCli:
         assert reprolint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
-                     "RPL006", "RPL007", "RPL008", "RPL009", "RPL010"):
+                     "RPL006", "RPL007", "RPL008", "RPL009", "RPL010",
+                     "RPL011"):
             assert rule in out
 
     def test_module_invocation_from_repo_root(self):
@@ -485,5 +545,12 @@ class TestRepositoryIsClean:
         """RPL006 explicitly: repro.obs owns every clock in src/."""
         findings = check_paths(
             [str(REPO_ROOT / "src")], select=["RPL006"]
+        )
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_all_src_pools_live_in_repro_parallel(self):
+        """RPL011 explicitly: repro.parallel owns every worker pool."""
+        findings = check_paths(
+            [str(REPO_ROOT / "src")], select=["RPL011"]
         )
         assert findings == [], "\n".join(str(f) for f in findings)

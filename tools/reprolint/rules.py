@@ -68,6 +68,12 @@ ALL_RULES: Dict[str, Tuple[str, str]] = {
         "metric catalogue drift between repro.obs.names and "
         "docs/OBSERVABILITY.md (cross-module pass)",
     ),
+    "RPL011": (
+        "allow-pool",
+        "worker-pool construction in src/repro outside repro.parallel "
+        "(fan out through repro.parallel so shared-memory lifecycle "
+        "and pool reuse stay centralised)",
+    ),
 }
 
 #: Modules whose per-element Python loops are the exact regressions the
@@ -113,6 +119,14 @@ LEGACY_NP_RANDOM: FrozenSet[str] = frozenset(
         "get_state",
         "set_state",
     }
+)
+
+#: Worker-pool constructors (RPL011).  Matching on the callable's last
+#: name catches both ``multiprocessing.Pool(...)`` and a bare
+#: ``Pool(...)`` import; anything in ``repro.parallel`` is exempt — it
+#: *is* the sanctioned pool layer.
+_POOL_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {"Pool", "ThreadPool", "ProcessPoolExecutor", "ThreadPoolExecutor"}
 )
 
 #: Identifier tokens (after snake-case splitting) that mark a value as a
@@ -429,6 +443,8 @@ class _Checker(ast.NodeVisitor):
         # RPL007 covers the whole repro package: dtype discipline is a
         # repo-wide contract, not a per-subsystem one.
         self.in_repro = subpackage is not None
+        # RPL011 exempts the sanctioned pool layer itself.
+        self.in_parallel = subpackage == "parallel"
 
     # -- bookkeeping ---------------------------------------------------
 
@@ -508,6 +524,20 @@ class _Checker(ast.NodeVisitor):
                 f"direct time.{name}() in src/repro bypasses the "
                 "observability layer; use a repro.obs Timer/Span so the "
                 "measurement lands in the metrics snapshot",
+            )
+        # RPL011: only repro.parallel may construct worker pools.
+        if (
+            self.in_repro
+            and not self.in_parallel
+            and name in _POOL_CONSTRUCTORS
+        ):
+            self._report(
+                node,
+                "RPL011",
+                f"{name}() in src/repro outside repro.parallel; use "
+                "repro.parallel (shared-memory handles, persistent "
+                "pools, guaranteed segment cleanup) instead of an "
+                "ad-hoc worker pool",
             )
         self.generic_visit(node)
 
