@@ -31,11 +31,18 @@ import atexit
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
+
+# The watchdog needs a raw monotonic deadline clock; this is control
+# flow (when to declare a stall), not a measurement, so it does not
+# route through the repro.obs timing layer.
+from time import monotonic  # reprolint: allow-direct-timing
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.contracts import par_sanitize_enabled
 from repro.core.recognition import CSDRecognizer, vote_stays
 from repro.data.trajectory import SemanticProperty, StayPoint
 from repro.parallel.shm import (
@@ -45,16 +52,38 @@ from repro.parallel.shm import (
     SharedCSD,
     attach_csd,
     attach_pack,
+    detach_all,
+    verify_attached,
 )
 from repro.types import IndexArray
 
 __all__ = [
     "FAULT_POINTS",
+    "PoolStall",
     "WorkerCrash",
     "get_pool",
     "shutdown_pools",
     "recognize_parallel",
 ]
+
+#: Default submit watchdog, seconds.  Overridable per-process via
+#: ``REPRO_POOL_TIMEOUT_S``; ``0`` disables the watchdog entirely.
+#: Generous on purpose: the largest benched workload (1M POIs, serial
+#: fallback chunk) finishes in seconds, so ten minutes only ever fires
+#: on a genuine stall (fork deadlock, wedged worker, dead executor).
+_DEFAULT_POOL_TIMEOUT_S = 600.0
+
+
+def _pool_timeout_s() -> float:
+    """The configured watchdog budget (0 disables)."""
+    raw = os.environ.get("REPRO_POOL_TIMEOUT_S", "").strip()
+    if not raw:
+        return _DEFAULT_POOL_TIMEOUT_S
+    try:
+        value = float(raw)
+    except ValueError:
+        return _DEFAULT_POOL_TIMEOUT_S
+    return max(value, 0.0)
 
 #: Named points inside the worker where tests may inject a hard death
 #: (``os._exit``), in execution order — same announcement style as
@@ -77,9 +106,39 @@ class WorkerCrash(RuntimeError):
     """
 
 
+class PoolStall(RuntimeError):
+    """The submit watchdog expired before every chunk returned.
+
+    Where :class:`WorkerCrash` is a worker *dying* (the executor
+    notices and breaks the pool), a stall is a worker — or the whole
+    pool — silently wedging: a lock copied locked across ``fork``, a
+    worker stuck in an import, an executor whose queue-management
+    thread is gone.  Without a watchdog that is an infinite hang in
+    ``future.result()``.  The exception message carries the per-chunk
+    state (done/pending counts, the configured budget) so the stall is
+    diagnosable from a CI log; the stalled pool is disposed before this
+    raises, so the next call starts clean.  Budget:
+    ``REPRO_POOL_TIMEOUT_S`` seconds (default 600; ``0`` disables the
+    watchdog).
+    """
+
+
 #: Live executors keyed by worker count; reused across recognition
 #: calls so fork/start-up cost is paid once per process count.
 _EXECUTORS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _worker_init() -> None:
+    """Run in every freshly forked worker before its first task.
+
+    A fork snapshots the parent's ``repro.parallel.shm`` attachment
+    cache; those inherited entries alias the *parent's* mappings and
+    must not be trusted (or double-closed) in the child.  Dropping them
+    here means each worker's first task performs a genuinely fresh
+    attach, which is also what makes recycled segment names safe after
+    a pool is disposed and replaced.
+    """
+    detach_all()
 
 
 def get_pool(n_workers: int) -> ProcessPoolExecutor:
@@ -95,6 +154,7 @@ def get_pool(n_workers: int) -> ProcessPoolExecutor:
         pool = ProcessPoolExecutor(
             max_workers=n_workers,
             mp_context=multiprocessing.get_context("fork"),
+            initializer=_worker_init,
         )
         _EXECUTORS[n_workers] = pool
     return pool
@@ -104,6 +164,12 @@ def _dispose_pool(n_workers: int) -> None:
     pool = _EXECUTORS.pop(n_workers, None)
     if pool is not None:
         pool.shutdown(wait=False, cancel_futures=True)
+        # The disposing process's own attachment cache may hold views
+        # over segments that are about to be unlinked and whose names
+        # a later export may recycle; drop it so the next attach for
+        # any logical handle is fresh (see the WorkerCrash regression
+        # test in tests/test_parallel.py).
+        detach_all()
 
 
 def shutdown_pools() -> None:
@@ -143,6 +209,12 @@ def _vote_worker(
     _fault(fault, "worker-attach")
     result = vote_stays(source, stay_xy[start:stop], r3sigma_m, use_float32)
     _fault(fault, "worker-vote")
+    if par_sanitize_enabled():
+        # Canary pass: re-verify the export-time checksums after the
+        # chunk so a torn write into shared memory fails here, in the
+        # worker that would otherwise propagate corrupted votes.
+        verify_attached(csd_handle.pack)
+        verify_attached(stays_handle)
     return result
 
 
@@ -172,21 +244,45 @@ def recognize_parallel(
     ) as shared_stays:
         csd_handle = shared_csd.handle()
         stays_handle = shared_stays.handle()
-        futures = [
-            pool.submit(
-                _vote_worker,
-                csd_handle,
-                stays_handle,
-                int(bounds[i]),
-                int(bounds[i + 1]),
-                recognizer.r3sigma_m,
-                use_float32,
-                fault,
-            )
-            for i in range(n_chunks)
-        ]
+        budget = _pool_timeout_s()
+        chunks = []
         try:
-            chunks = [f.result() for f in futures]
+            # Submitting inside the guard matters: a worker that dies
+            # while later chunks are still being submitted can break
+            # the executor mid-loop, making submit itself raise
+            # BrokenProcessPool.
+            futures = [
+                pool.submit(
+                    _vote_worker,
+                    csd_handle,
+                    stays_handle,
+                    int(bounds[i]),
+                    int(bounds[i + 1]),
+                    recognizer.r3sigma_m,
+                    use_float32,
+                    fault,
+                )
+                for i in range(n_chunks)
+            ]
+            deadline = monotonic() + budget if budget else None
+            for i, future in enumerate(futures):
+                if deadline is None:
+                    chunks.append(future.result())
+                    continue
+                remaining = deadline - monotonic()
+                try:
+                    chunks.append(future.result(timeout=max(remaining, 0.0)))
+                except FutureTimeout:
+                    done = sum(f.done() for f in futures)
+                    _dispose_pool(n_chunks)
+                    raise PoolStall(
+                        f"recognition pool stalled: chunk {i} of "
+                        f"{n_chunks} not done {budget:.0f}s after "
+                        f"submit ({done}/{n_chunks} futures completed); "
+                        "segments unlinked, pool disposed — raise "
+                        "REPRO_POOL_TIMEOUT_S if the workload is "
+                        "legitimately slower"
+                    ) from None
         except BrokenProcessPool as exc:
             _dispose_pool(n_chunks)
             raise WorkerCrash(

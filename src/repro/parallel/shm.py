@@ -35,12 +35,14 @@ from __future__ import annotations
 import atexit
 import os
 import secrets
+import zlib
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, List, Mapping, Optional, Tuple, Type
 
 import numpy as np
 
+from repro.contracts import CanaryViolation, ContractViolation, par_sanitize_enabled
 from repro.core.csd import CitySemanticDiagram
 from repro.geo.index import GridCSRState, GridIndex
 from repro.types import CSRQuery, Float64Array, IndexArray, MetersArray
@@ -54,18 +56,35 @@ __all__ = [
     "CSDArrayView",
     "attach_pack",
     "attach_csd",
+    "attached_tokens",
     "detach_all",
     "live_segment_names",
+    "verify_attached",
 ]
 
 
 @dataclass(frozen=True)
 class ArrayBlock:
-    """Pickle-cheap descriptor of one exported array."""
+    """Pickle-cheap descriptor of one exported array.
+
+    ``checksum`` is the export-time CRC of the array bytes, present
+    only under ``REPRO_PAR_SANITIZE=1`` — the canary
+    :func:`verify_attached` re-verifies after every worker chunk.
+    (crc32 over a few hundred KB costs tens of microseconds; an
+    xxhash-class stdlib hash with the same torn-write sensitivity.)
+    """
 
     shm_name: str
     shape: Tuple[int, ...]
     dtype: str
+    checksum: Optional[int] = None
+
+
+def _block_checksum(arr: np.ndarray) -> int:
+    """CRC of an array's raw bytes (the canary value)."""
+    # reprolint: allow-dtype -- hashes the array's own bytes; a dtype
+    # coercion here would change the canary, not stabilise it.
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes())
 
 
 @dataclass(frozen=True)
@@ -102,9 +121,20 @@ _OWNED: Dict[str, "SharedArrayPack"] = {}
 
 #: Per-process attachments, keyed by token.  Bounded: stale tokens are
 #: detached once the cache exceeds ``_ATTACH_CACHE_MAX`` (two packs —
-#: CSD + stay coordinates — are live per recognition call).
+#: CSD + stay coordinates — are live per recognition call).  Each entry
+#: also records the handle's block descriptors: a cache hit whose
+#: blocks differ from the incoming handle's is *stale* (a recycled
+#: token now naming different segments) and is detached and re-attached
+#: fresh rather than served.
 _ATTACH_CACHE_MAX = 4
-_ATTACHED: Dict[str, Tuple[Dict[str, np.ndarray], List[shared_memory.SharedMemory]]] = {}
+_ATTACHED: Dict[
+    str,
+    Tuple[
+        Dict[str, np.ndarray],
+        List[shared_memory.SharedMemory],
+        Tuple[Tuple[str, "ArrayBlock"], ...],
+    ],
+] = {}
 
 
 def _cleanup_owned() -> None:
@@ -151,13 +181,20 @@ class SharedArrayPack:
         self.token = f"repro-{label}-{self.owner_pid}-{secrets.token_hex(4)}"
         self._segments: Dict[str, shared_memory.SharedMemory] = {}
         self._blocks: Dict[str, ArrayBlock] = {}
+        canary = par_sanitize_enabled()
         try:
             for key, value in arrays.items():
                 # reprolint: allow-dtype -- exports preserve each
                 # array's own dtype; the handle records it explicitly.
                 arr = np.ascontiguousarray(value)
+                # Segments carry the token-derived name (not the
+                # anonymous psm_* default) so the leak gate in
+                # tests/conftest.py can recognise repro-owned segments
+                # in /dev/shm by prefix.
                 seg = shared_memory.SharedMemory(
-                    create=True, size=max(arr.nbytes, 1)
+                    name=f"{self.token}-{key}",
+                    create=True,
+                    size=max(arr.nbytes, 1),
                 )
                 if arr.nbytes:
                     view = np.ndarray(
@@ -169,6 +206,7 @@ class SharedArrayPack:
                     shm_name=seg.name,
                     shape=tuple(arr.shape),
                     dtype=arr.dtype.name,
+                    checksum=_block_checksum(arr) if canary else None,
                 )
         except BaseException:
             self._unlink_segments()
@@ -216,7 +254,7 @@ def _detach(token: str) -> None:
     cached = _ATTACHED.pop(token, None)
     if cached is None:
         return
-    _, segments = cached
+    _, segments, _ = cached
     for seg in segments:
         try:
             seg.close()
@@ -242,12 +280,22 @@ def attach_pack(handle: PackHandle) -> Mapping[str, np.ndarray]:
     export with a single mapping.  Stale attachments (tokens evicted
     from the bounded cache) are closed, releasing the parent-unlinked
     memory.
+
+    A cache hit is served only when the cached entry's block
+    descriptors match the handle's: a token that outlived its segments
+    (pool disposed after a :class:`~repro.parallel.pool.WorkerCrash`,
+    then a new export recycled the name) is detached and re-attached
+    fresh instead of serving views over dead — or worse, someone
+    else's — memory.
     """
     cached = _ATTACHED.get(handle.token)
     if cached is not None:
-        return cached[0]
+        if cached[2] == handle.blocks:
+            return cached[0]
+        _detach(handle.token)
     while len(_ATTACHED) >= _ATTACH_CACHE_MAX:
         _detach(next(iter(_ATTACHED)))
+    sanitize = par_sanitize_enabled()
     arrays: Dict[str, np.ndarray] = {}
     segments: List[shared_memory.SharedMemory] = []
     try:
@@ -264,6 +312,12 @@ def attach_pack(handle: PackHandle) -> Mapping[str, np.ndarray]:
                 block.shape, dtype=np.dtype(block.dtype), buffer=seg.buf
             )
             view.flags.writeable = False
+            if sanitize and view.flags.writeable:
+                raise ContractViolation(
+                    f"attach_pack: view {key!r} of {handle.token} is "
+                    "writeable after attach; shared views must be "
+                    "read-only"
+                )
             arrays[key] = view
     except BaseException:
         for seg in segments:
@@ -272,8 +326,41 @@ def attach_pack(handle: PackHandle) -> Mapping[str, np.ndarray]:
             except (OSError, BufferError):
                 pass
         raise
-    _ATTACHED[handle.token] = (arrays, segments)
+    _ATTACHED[handle.token] = (arrays, segments, handle.blocks)
     return arrays
+
+
+def attached_tokens() -> List[str]:
+    """Tokens currently held in this process's attachment cache."""
+    return sorted(_ATTACHED)
+
+
+def verify_attached(handle: PackHandle) -> None:
+    """Re-verify the checksum canary over an attached pack.
+
+    Under ``REPRO_PAR_SANITIZE=1`` every exported block carries its
+    export-time CRC; workers call this after each chunk so a torn write
+    into shared memory — from any process, through any aperture the
+    static pass cannot see — fails the *next* chunk boundary instead of
+    silently corrupting every sibling's reads.  No-op when the handle
+    carries no checksums (sanitizer off at export time) or the pack is
+    not currently attached.
+    """
+    cached = _ATTACHED.get(handle.token)
+    if cached is None:
+        return
+    arrays = cached[0]
+    for key, block in handle.blocks:
+        if block.checksum is None or key not in arrays:
+            continue
+        actual = _block_checksum(arrays[key])
+        if actual != block.checksum:
+            raise CanaryViolation(
+                f"shared-memory canary mismatch on block {key!r} of "
+                f"{handle.token}: export-time crc32 {block.checksum:#010x} "
+                f"!= current {actual:#010x} — a process wrote into the "
+                "shared segment after export (torn write)"
+            )
 
 
 class CSDArrayView:

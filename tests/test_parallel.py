@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 import repro.core.recognition as recognition_mod
+from repro.contracts import CanaryViolation
 from repro.core.recognition import CSDRecognizer, chunk_bounds, vote_stays
 from repro.parallel import (
     SharedArrayPack,
@@ -29,6 +30,8 @@ from repro.parallel import (
     live_segment_names,
     recognize_parallel,
 )
+from repro.parallel.pool import PoolStall, _dispose_pool
+from repro.parallel.shm import attached_tokens, detach_all, verify_attached
 
 
 @pytest.fixture
@@ -160,6 +163,194 @@ class TestSharedMemoryLifecycle:
         ]
         assert props == expected
         assert live_segment_names() == []
+
+    def test_unlink_and_recovery_after_attach_death(
+        self, small_csd, small_csd_config, flat_stays, small_recognized
+    ):
+        """A worker dying *between* attach and vote — segments mapped
+        but no result produced — must leak nothing and leave the next
+        call fully functional."""
+        recognizer = CSDRecognizer(small_csd, small_csd_config.r3sigma_m)
+        bounds = np.array([0, len(flat_stays) // 2, len(flat_stays)])
+        with pytest.raises(WorkerCrash):
+            recognize_parallel(
+                recognizer, flat_stays, bounds, fault="worker-attach"
+            )
+        assert live_segment_names() == []
+        props = recognize_parallel(recognizer, flat_stays, bounds)
+        expected = [
+            sp.semantics for st in small_recognized for sp in st.stay_points
+        ]
+        assert props == expected
+        assert live_segment_names() == []
+
+
+class TestAttachCacheStaleness:
+    """The per-process token cache must never serve views over segments
+    the token no longer names (the WorkerCrash-recycle regression)."""
+
+    def test_recycled_token_gets_fresh_attach(self):
+        from repro.parallel.shm import PackHandle
+
+        with SharedArrayPack(
+            {"a": np.ones(4, dtype=np.float64)}, label="t"
+        ) as pack1:
+            h1 = pack1.handle()
+            v1 = attach_pack(h1)
+            assert v1["a"][0] == 1.0
+            with SharedArrayPack(
+                {"a": np.full(4, 2.0, dtype=np.float64)}, label="t"
+            ) as pack2:
+                # Same logical token, different segments underneath —
+                # what a recycled name looks like to a cached worker.
+                forged = PackHandle(
+                    token=h1.token, blocks=pack2.handle().blocks
+                )
+                v2 = attach_pack(forged)
+                assert v2["a"][0] == 2.0, "stale cached view served"
+        detach_all()
+
+    def test_cache_hit_for_unchanged_handle(self):
+        with SharedArrayPack(
+            {"a": np.ones(4, dtype=np.float64)}, label="t"
+        ) as pack:
+            first = attach_pack(pack.handle())
+            again = attach_pack(pack.handle())
+            assert again["a"] is first["a"]
+        detach_all()
+
+    def test_pool_disposal_invalidates_parent_cache(
+        self, small_csd, small_csd_config, flat_stays
+    ):
+        """After a WorkerCrash disposes the pool, the disposing
+        process's own attachment cache is dropped, so a re-export under
+        any recycled name attaches fresh."""
+        with SharedArrayPack(
+            {"a": np.ones(4, dtype=np.float64)}, label="t"
+        ) as pack:
+            attach_pack(pack.handle())
+            assert pack.token in attached_tokens()
+            recognizer = CSDRecognizer(small_csd, small_csd_config.r3sigma_m)
+            bounds = np.array([0, len(flat_stays) // 2, len(flat_stays)])
+            with pytest.raises(WorkerCrash):
+                recognize_parallel(
+                    recognizer, flat_stays, bounds, fault="worker-vote"
+                )
+            assert attached_tokens() == []
+
+    def test_worker_init_drops_inherited_attachments(self):
+        from repro.parallel.pool import _worker_init
+
+        with SharedArrayPack(
+            {"a": np.ones(4, dtype=np.float64)}, label="t"
+        ) as pack:
+            attach_pack(pack.handle())
+            assert attached_tokens() != []
+            _worker_init()
+            assert attached_tokens() == []
+
+
+class TestParSanitize:
+    def test_no_checksums_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAR_SANITIZE", raising=False)
+        with SharedArrayPack(
+            {"a": np.arange(8, dtype=np.float64)}, label="t"
+        ) as pack:
+            for _, block in pack.handle().blocks:
+                assert block.checksum is None
+            verify_attached(pack.handle())  # no-op, must not raise
+        detach_all()
+
+    def test_canary_passes_on_intact_segments(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAR_SANITIZE", "1")
+        with SharedArrayPack(
+            {"a": np.arange(8, dtype=np.float64)}, label="t"
+        ) as pack:
+            handle = pack.handle()
+            assert all(b.checksum is not None for _, b in handle.blocks)
+            attach_pack(handle)
+            verify_attached(handle)
+        detach_all()
+
+    def test_canary_detects_torn_write(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAR_SANITIZE", "1")
+        from multiprocessing import shared_memory
+
+        with SharedArrayPack(
+            {"a": np.arange(8, dtype=np.float64)}, label="t"
+        ) as pack:
+            handle = pack.handle()
+            attach_pack(handle)
+            # A torn write through an aperture the attached (read-only)
+            # views cannot provide: a second raw mapping.
+            seg = shared_memory.SharedMemory(
+                name=handle.blocks[0][1].shm_name
+            )
+            try:
+                raw = np.ndarray((8,), dtype=np.float64, buffer=seg.buf)
+                raw[3] = 999.0
+                with pytest.raises(CanaryViolation, match="canary mismatch"):
+                    verify_attached(handle)
+            finally:
+                del raw
+                seg.close()
+        detach_all()
+
+    def test_parallel_recognition_bit_identical_under_sanitizer(
+        self, small_csd, small_csd_config, flat_stays, monkeypatch
+    ):
+        recognizer = CSDRecognizer(small_csd, small_csd_config.r3sigma_m)
+        serial = recognizer.recognize_points(flat_stays)
+        bounds = chunk_bounds(len(flat_stays), 2, min_per_job=1)
+        monkeypatch.setenv("REPRO_PAR_SANITIZE", "1")
+        # Fresh pool so the forked workers inherit the armed sanitizer.
+        _dispose_pool(2)
+        assert recognize_parallel(recognizer, flat_stays, bounds) == serial
+        assert live_segment_names() == []
+
+
+def _sleepy_worker(*args):
+    import time as _time  # reprolint: allow-direct-timing
+
+    _time.sleep(2.0)
+    raise AssertionError("the watchdog should have fired first")
+
+
+class TestPoolWatchdog:
+    def test_stall_raises_pool_stall(
+        self, small_csd, small_csd_config, flat_stays, monkeypatch
+    ):
+        import repro.parallel.pool as pool_mod
+
+        monkeypatch.setenv("REPRO_POOL_TIMEOUT_S", "0.2")
+        monkeypatch.setattr(pool_mod, "_vote_worker", _sleepy_worker)
+        recognizer = CSDRecognizer(small_csd, small_csd_config.r3sigma_m)
+        bounds = np.array([0, len(flat_stays) // 2, len(flat_stays)])
+        _dispose_pool(2)  # fresh pool forks with the patched worker
+        with pytest.raises(PoolStall, match="stalled"):
+            recognize_parallel(recognizer, flat_stays, bounds)
+        assert live_segment_names() == []
+        _dispose_pool(2)
+
+    def test_recovery_after_stall(
+        self, small_csd, small_csd_config, flat_stays
+    ):
+        recognizer = CSDRecognizer(small_csd, small_csd_config.r3sigma_m)
+        serial = recognizer.recognize_points(flat_stays)
+        bounds = chunk_bounds(len(flat_stays), 2, min_per_job=1)
+        assert recognize_parallel(recognizer, flat_stays, bounds) == serial
+
+    def test_timeout_parsing(self, monkeypatch):
+        from repro.parallel.pool import _DEFAULT_POOL_TIMEOUT_S, _pool_timeout_s
+
+        monkeypatch.delenv("REPRO_POOL_TIMEOUT_S", raising=False)
+        assert _pool_timeout_s() == _DEFAULT_POOL_TIMEOUT_S
+        monkeypatch.setenv("REPRO_POOL_TIMEOUT_S", "42.5")
+        assert _pool_timeout_s() == 42.5
+        monkeypatch.setenv("REPRO_POOL_TIMEOUT_S", "0")
+        assert _pool_timeout_s() == 0.0
+        monkeypatch.setenv("REPRO_POOL_TIMEOUT_S", "not-a-number")
+        assert _pool_timeout_s() == _DEFAULT_POOL_TIMEOUT_S
 
 
 class TestParallelEquivalence:

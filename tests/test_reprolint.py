@@ -16,7 +16,7 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT))
 
-from tools.reprolint import check_paths, check_source  # noqa: E402
+from tools.reprolint import ALL_RULES, check_paths, check_source  # noqa: E402
 from tools.reprolint.cli import main as reprolint_main  # noqa: E402
 
 CORE = "src/repro/core/example.py"
@@ -488,6 +488,7 @@ class TestCli:
         target.write_text("def f(xs=[]):\n    return xs\n")
         assert reprolint_main([str(target), "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 2
         assert payload["count"] == 1
         assert payload["findings"][0]["rule"] == "RPL005"
 
@@ -507,18 +508,42 @@ class TestCli:
         target.write_text("def f(xs=[]):\n    return xs\n")
         assert reprolint_main([str(target), "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert set(payload) == {"findings", "count"}
+        assert set(payload) == {"schema", "count", "fail_on", "findings"}
+        assert payload["fail_on"] == "error"
         finding = payload["findings"][0]
-        assert set(finding) == {"path", "line", "col", "rule", "message"}
+        assert set(finding) == {
+            "path", "line", "col", "rule", "severity", "message",
+        }
+        assert finding["severity"] == "error"
         assert isinstance(finding["line"], int)
         assert isinstance(finding["col"], int)
+
+    def test_fail_on_warning_is_at_least_as_strict(self, tmp_path):
+        # Every current rule is error-severity, so --fail-on warning
+        # (the lower threshold) must fail whenever the default does.
+        target = tmp_path / "bad.py"
+        target.write_text("def f(xs=[]):\n    return xs\n")
+        assert reprolint_main([str(target), "--fail-on", "warning"]) == 1
+        assert reprolint_main([str(target), "--fail-on", "error"]) == 1
+
+    def test_fail_on_rejects_unknown_threshold(self):
+        with pytest.raises(SystemExit) as exc:
+            reprolint_main(["--fail-on", "info"])
+        assert exc.value.code == 2
+
+    def test_every_rule_has_a_severity(self):
+        from tools.reprolint.rules import RULE_SEVERITY
+
+        assert set(RULE_SEVERITY) == set(ALL_RULES)
+        assert set(RULE_SEVERITY.values()) <= {"error", "warning"}
 
     def test_list_rules(self, capsys):
         assert reprolint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
                      "RPL006", "RPL007", "RPL008", "RPL009", "RPL010",
-                     "RPL011"):
+                     "RPL011", "RPL012", "RPL013", "RPL014", "RPL015",
+                     "RPL016"):
             assert rule in out
 
     def test_module_invocation_from_repo_root(self):

@@ -1,0 +1,487 @@
+"""Unit tests for reprolint's concurrency pass (tools/reprolint/concurrency).
+
+Fixtures build a synthetic project from ``(path, source)`` pairs —
+same style as the crossmod tests — so each of RPL012–RPL016 gets a
+pass case, a fail case, and a pragma-suppression case in isolation.
+The repo-is-clean gate at the bottom then holds the real tree to the
+same standard.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint.concurrency import check_concurrency  # noqa: E402
+from tools.reprolint.crossmod import build_project, load_project  # noqa: E402
+
+POOL_PATH = "src/repro/parallel/pool.py"
+SHM_PATH = "src/repro/parallel/shm.py"
+CORE_PATH = "src/repro/core/example.py"
+
+#: A minimal sanctioned shm module: attach functions plus a paired
+#: create=True site, so fixture projects resolve the same names the
+#: real tree does.
+SHM_SRC = '''
+from multiprocessing import shared_memory
+
+
+class Pack:
+    def __init__(self, arrays):
+        self._segments = []
+        try:
+            for a in arrays:
+                seg = shared_memory.SharedMemory(create=True, size=64)
+                self._segments.append(seg)
+        except BaseException:
+            self.unlink()
+            raise
+
+    def unlink(self):
+        for seg in self._segments:
+            seg.unlink()
+
+
+def attach_pack(handle):
+    return {}
+
+
+def attach_csd(handle):
+    return object()
+'''
+
+#: A dispatch module whose worker is a clean module-level function.
+CLEAN_POOL_SRC = '''
+from repro.parallel.shm import attach_csd, attach_pack
+
+
+def _worker(csd_handle, stays_handle, start, stop):
+    source = attach_csd(csd_handle)
+    xy = attach_pack(stays_handle)["stay_xy"]
+    return xy[start:stop]
+
+
+def run(pool, handles):
+    return [pool.submit(_worker, *h) for h in handles]
+'''
+
+
+def findings_of(*files, select=None):
+    return check_concurrency(build_project(list(files)), select=select)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestRPL012WorkerCallable:
+    def test_module_level_function_passes(self):
+        assert findings_of((SHM_PATH, SHM_SRC), (POOL_PATH, CLEAN_POOL_SRC)) == []
+
+    def test_lambda_dispatch_fails(self):
+        src = "def run(pool):\n    return pool.submit(lambda x: x + 1, 2)\n"
+        findings = findings_of((POOL_PATH, src))
+        assert rules_of(findings) == ["RPL012"]
+        assert "lambda" in findings[0].message
+
+    def test_nested_function_dispatch_fails(self):
+        src = (
+            "def run(pool):\n"
+            "    def chunk(x):\n"
+            "        return x + 1\n"
+            "    return pool.submit(chunk, 2)\n"
+        )
+        findings = findings_of((POOL_PATH, src))
+        assert rules_of(findings) == ["RPL012"]
+        assert "hoist" in findings[0].message
+
+    def test_bound_method_dispatch_fails(self):
+        src = (
+            "def run(pool, recognizer):\n"
+            "    return pool.submit(recognizer.recognize, 2)\n"
+        )
+        findings = findings_of((POOL_PATH, src))
+        assert rules_of(findings) == ["RPL012"]
+        assert "bound method" in findings[0].message
+
+    def test_initializer_keyword_is_a_dispatch_site(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def make(n):\n"
+            "    return ProcessPoolExecutor(n, initializer=lambda: None)\n"
+        )
+        assert rules_of(findings_of((POOL_PATH, src))) == ["RPL012"]
+
+    def test_pragma_suppresses(self):
+        src = (
+            "def run(pool):\n"
+            "    # reprolint: allow-worker-callable\n"
+            "    return pool.submit(lambda x: x + 1, 2)\n"
+        )
+        assert findings_of((POOL_PATH, src)) == []
+
+
+class TestRPL013AttachedWrites:
+    def test_reads_pass(self):
+        assert findings_of((SHM_PATH, SHM_SRC), (POOL_PATH, CLEAN_POOL_SRC)) == []
+
+    def test_item_assignment_fails(self):
+        src = (
+            "from repro.parallel.shm import attach_pack\n"
+            "def _worker(handle):\n"
+            "    xy = attach_pack(handle)['stay_xy']\n"
+            "    xy[0] = 1.0\n"
+            "def run(pool, handle):\n"
+            "    return pool.submit(_worker, handle)\n"
+        )
+        findings = findings_of((SHM_PATH, SHM_SRC), (POOL_PATH, src))
+        assert rules_of(findings) == ["RPL013"]
+
+    def test_augmented_assignment_fails(self):
+        src = (
+            "from repro.parallel.shm import attach_pack\n"
+            "def _worker(handle):\n"
+            "    arrays = attach_pack(handle)\n"
+            "    arrays['stay_xy'] += 1.0\n"
+            "def run(pool, handle):\n"
+            "    return pool.submit(_worker, handle)\n"
+        )
+        assert rules_of(findings_of((SHM_PATH, SHM_SRC), (POOL_PATH, src))) == [
+            "RPL013"
+        ]
+
+    def test_out_kwarg_fails(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.parallel.shm import attach_pack\n"
+            "def _worker(handle):\n"
+            "    xy = attach_pack(handle)['stay_xy']\n"
+            "    np.add(xy, 1.0, out=xy)\n"
+            "def run(pool, handle):\n"
+            "    return pool.submit(_worker, handle)\n"
+        )
+        assert rules_of(findings_of((SHM_PATH, SHM_SRC), (POOL_PATH, src))) == [
+            "RPL013"
+        ]
+
+    def test_inplace_ndarray_method_fails(self):
+        src = (
+            "from repro.parallel.shm import attach_pack\n"
+            "def _worker(handle):\n"
+            "    xy = attach_pack(handle)['stay_xy']\n"
+            "    xy.fill(0.0)\n"
+            "def run(pool, handle):\n"
+            "    return pool.submit(_worker, handle)\n"
+        )
+        assert rules_of(findings_of((SHM_PATH, SHM_SRC), (POOL_PATH, src))) == [
+            "RPL013"
+        ]
+
+    def test_taint_propagates_through_calls(self):
+        src = (
+            "from repro.parallel.shm import attach_pack\n"
+            "def _scale(arr):\n"
+            "    arr *= 2.0\n"
+            "def _worker(handle):\n"
+            "    xy = attach_pack(handle)['stay_xy']\n"
+            "    _scale(xy)\n"
+            "def run(pool, handle):\n"
+            "    return pool.submit(_worker, handle)\n"
+        )
+        findings = findings_of((SHM_PATH, SHM_SRC), (POOL_PATH, src))
+        assert rules_of(findings) == ["RPL013"]
+        assert findings[0].line == 3  # the write inside _scale
+
+    def test_write_outside_worker_reachable_code_passes(self):
+        # No dispatch site: nothing is worker-reachable, so a write to
+        # an attached view is the (parent-side) caller's business.
+        src = (
+            "from repro.parallel.shm import attach_pack\n"
+            "def parent_only(handle):\n"
+            "    xy = attach_pack(handle)['stay_xy']\n"
+            "    xy[0] = 1.0\n"
+        )
+        assert findings_of((SHM_PATH, SHM_SRC), (POOL_PATH, src)) == []
+
+    def test_pragma_suppresses(self):
+        src = (
+            "from repro.parallel.shm import attach_pack\n"
+            "def _worker(handle):\n"
+            "    xy = attach_pack(handle)['stay_xy']\n"
+            "    # reprolint: allow-attached-write\n"
+            "    xy[0] = 1.0\n"
+            "def run(pool, handle):\n"
+            "    return pool.submit(_worker, handle)\n"
+        )
+        assert findings_of((SHM_PATH, SHM_SRC), (POOL_PATH, src)) == []
+
+
+class TestRPL014ShmConfinement:
+    def test_paired_create_in_shm_module_passes(self):
+        assert findings_of((SHM_PATH, SHM_SRC)) == []
+
+    def test_construction_outside_shm_module_fails(self):
+        src = (
+            "from multiprocessing import shared_memory\n"
+            "def leak():\n"
+            "    return shared_memory.SharedMemory(create=True, size=64)\n"
+        )
+        findings = findings_of((CORE_PATH, src))
+        assert rules_of(findings) == ["RPL014"]
+        assert "outside repro.parallel.shm" in findings[0].message
+
+    def test_attach_outside_shm_module_fails(self):
+        src = (
+            "from multiprocessing import shared_memory\n"
+            "def peek(name):\n"
+            "    return shared_memory.SharedMemory(name=name)\n"
+        )
+        assert rules_of(findings_of((CORE_PATH, src))) == ["RPL014"]
+
+    def test_unpaired_create_inside_shm_module_fails(self):
+        src = (
+            "from multiprocessing import shared_memory\n"
+            "def make():\n"
+            "    return shared_memory.SharedMemory(create=True, size=64)\n"
+        )
+        findings = findings_of((SHM_PATH, src))
+        assert rules_of(findings) == ["RPL014"]
+        assert "unlink" in findings[0].message
+
+    def test_with_block_counts_as_paired(self):
+        src = (
+            "from multiprocessing import shared_memory\n"
+            "def make():\n"
+            "    with shared_memory.SharedMemory(create=True, size=64) as seg:\n"
+            "        return seg.name\n"
+        )
+        assert findings_of((SHM_PATH, src)) == []
+
+    def test_resource_tracker_outside_shm_module_fails(self):
+        src = (
+            "from multiprocessing import resource_tracker\n"
+            "def hush(name):\n"
+            "    resource_tracker.unregister(name, 'shared_memory')\n"
+        )
+        findings = findings_of((CORE_PATH, src))
+        assert rules_of(findings) == ["RPL014", "RPL014"]  # import + call
+
+    def test_pragma_suppresses(self):
+        src = (
+            "from multiprocessing import shared_memory\n"
+            "def leak():\n"
+            "    # reprolint: allow-shm\n"
+            "    return shared_memory.SharedMemory(create=True, size=64)\n"
+        )
+        assert findings_of((CORE_PATH, src)) == []
+
+
+class TestRPL015WorkerGlobals:
+    def test_pure_worker_passes(self):
+        assert findings_of((SHM_PATH, SHM_SRC), (POOL_PATH, CLEAN_POOL_SRC)) == []
+
+    def test_global_rebind_fails(self):
+        src = (
+            "_COUNT = 0\n"
+            "def _worker(x):\n"
+            "    global _COUNT\n"
+            "    _COUNT = _COUNT + 1\n"
+            "    return x\n"
+            "def run(pool):\n"
+            "    return pool.submit(_worker, 1)\n"
+        )
+        findings = findings_of((POOL_PATH, src))
+        assert rules_of(findings) == ["RPL015"]
+        assert "rebinds module global" in findings[0].message
+
+    def test_module_dict_mutation_fails(self):
+        src = (
+            "_CACHE = {}\n"
+            "def _worker(x):\n"
+            "    _CACHE[x] = x\n"
+            "    return x\n"
+            "def run(pool):\n"
+            "    return pool.submit(_worker, 1)\n"
+        )
+        assert rules_of(findings_of((POOL_PATH, src))) == ["RPL015"]
+
+    def test_module_list_append_fails(self):
+        src = (
+            "_SEEN = []\n"
+            "def _worker(x):\n"
+            "    _SEEN.append(x)\n"
+            "    return x\n"
+            "def run(pool):\n"
+            "    return pool.submit(_worker, 1)\n"
+        )
+        assert rules_of(findings_of((POOL_PATH, src))) == ["RPL015"]
+
+    def test_local_shadow_passes(self):
+        src = (
+            "_CACHE = {}\n"
+            "def _worker(x):\n"
+            "    _CACHE = {}\n"
+            "    _CACHE[x] = x\n"
+            "    return x\n"
+            "def run(pool):\n"
+            "    return pool.submit(_worker, 1)\n"
+        )
+        assert findings_of((POOL_PATH, src)) == []
+
+    def test_mutation_in_unreachable_function_passes(self):
+        src = (
+            "_CACHE = {}\n"
+            "def parent_side(x):\n"
+            "    _CACHE[x] = x\n"
+            "def _worker(x):\n"
+            "    return x\n"
+            "def run(pool):\n"
+            "    return pool.submit(_worker, 1)\n"
+        )
+        assert findings_of((POOL_PATH, src)) == []
+
+    def test_shm_module_cache_is_exempt(self):
+        # repro/parallel/shm.py's per-process attachment cache is the
+        # sanctioned worker-side state.
+        src = SHM_SRC + (
+            "_ATTACHED = {}\n"
+            "def attach_cached(handle):\n"
+            "    _ATTACHED[handle] = attach_pack(handle)\n"
+            "    return _ATTACHED[handle]\n"
+        )
+        pool_src = (
+            "from repro.parallel.shm import attach_cached\n"
+            "def _worker(handle):\n"
+            "    return attach_cached(handle)\n"
+            "def run(pool, handle):\n"
+            "    return pool.submit(_worker, handle)\n"
+        )
+        assert findings_of((SHM_PATH, src), (POOL_PATH, pool_src)) == []
+
+    def test_pragma_suppresses(self):
+        src = (
+            "_SEEN = []\n"
+            "def _worker(x):\n"
+            "    # reprolint: allow-worker-global\n"
+            "    _SEEN.append(x)\n"
+            "    return x\n"
+            "def run(pool):\n"
+            "    return pool.submit(_worker, 1)\n"
+        )
+        assert findings_of((POOL_PATH, src)) == []
+
+
+class TestRPL016Threading:
+    def test_thread_free_worker_passes(self):
+        assert findings_of((SHM_PATH, SHM_SRC), (POOL_PATH, CLEAN_POOL_SRC)) == []
+
+    def test_lock_in_worker_module_fails(self):
+        src = (
+            "import threading\n"
+            "_LOCK = threading.Lock()\n"
+            "def _worker(x):\n"
+            "    return x\n"
+            "def run(pool):\n"
+            "    return pool.submit(_worker, 1)\n"
+        )
+        findings = findings_of((POOL_PATH, src))
+        assert rules_of(findings) == ["RPL016"]
+        assert "fork" in findings[0].message
+
+    def test_lock_in_transitively_imported_module_fails(self):
+        # The worker module itself is clean, but it imports a repro
+        # module that constructs a lock at import time — the fork
+        # inherits that module's state all the same.
+        obs_src = "import threading\n_LOCK = threading.Lock()\n"
+        src = (
+            "import repro.obs.metrics\n"
+            "def _worker(x):\n"
+            "    return x\n"
+            "def run(pool):\n"
+            "    return pool.submit(_worker, 1)\n"
+        )
+        findings = findings_of(
+            ("src/repro/obs/metrics.py", obs_src), (POOL_PATH, src)
+        )
+        assert rules_of(findings) == ["RPL016"]
+        assert "repro.obs.metrics" in findings[0].message
+
+    def test_thread_pool_executor_fails(self):
+        src = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "def _worker(x):\n"
+            "    return x\n"
+            "def run(pool):\n"
+            "    return pool.submit(_worker, 1)\n"
+        )
+        findings = findings_of((POOL_PATH, src))
+        assert "RPL016" in rules_of(findings)
+
+    def test_lock_in_non_worker_module_passes(self):
+        # No dispatch sites anywhere: nothing is worker-reachable.
+        src = "import threading\n_LOCK = threading.Lock()\n"
+        assert findings_of((CORE_PATH, src)) == []
+
+    def test_pragma_suppresses(self):
+        src = (
+            "import threading\n"
+            "_LOCK = threading.Lock()  # reprolint: allow-thread\n"
+            "def _worker(x):\n"
+            "    return x\n"
+            "def run(pool):\n"
+            "    return pool.submit(_worker, 1)\n"
+        )
+        assert findings_of((POOL_PATH, src)) == []
+
+
+class TestSelect:
+    SRC = (
+        "import threading\n"
+        "_LOCK = threading.Lock()\n"
+        "def _worker(x):\n"
+        "    return x\n"
+        "def run(pool):\n"
+        "    pool.submit(lambda: 1)\n"
+        "    return pool.submit(_worker, 1)\n"
+    )
+
+    def test_all_rules_fire_unselected(self):
+        assert sorted(set(rules_of(findings_of((POOL_PATH, self.SRC))))) == [
+            "RPL012",
+            "RPL016",
+        ]
+
+    def test_select_narrows_to_one_rule(self):
+        findings = findings_of((POOL_PATH, self.SRC), select=["RPL016"])
+        assert rules_of(findings) == ["RPL016"]
+
+
+class TestRepositoryIsClean:
+    """The real tree satisfies RPL012–016 (vetted sites carry pragmas)."""
+
+    @pytest.fixture(scope="class")
+    def repo_findings(self):
+        project = load_project([str(REPO_ROOT / "src")])
+        return check_concurrency(project)
+
+    def test_no_concurrency_findings(self, repo_findings):
+        assert repo_findings == []
+
+    def test_real_dispatch_sites_were_analyzed(self):
+        # Guard against the pass silently seeing no dispatch roots (in
+        # which case every rule would pass vacuously): the analyzer
+        # must reach vote_stays from pool.submit(_vote_worker, ...).
+        from tools.reprolint.concurrency import _Pass3
+
+        project = load_project([str(REPO_ROOT / "src")])
+        checker = _Pass3(project, None)
+        roots = checker.check_dispatch_sites()
+        assert any(fn.qualname == "_vote_worker" for fn in roots)
+        checker.compute_reachable(roots)
+        names = {fn.qualname for fn in checker.reachable.values()}
+        assert "vote_stays" in names
+        modules = checker.reachable_modules()
+        assert "repro.obs.metrics" in modules

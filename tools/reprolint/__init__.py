@@ -2,10 +2,13 @@
 
 A deliberately small, stdlib-only (``ast``) linter that machine-checks
 the invariants the CSR kernel rewrite (PR 1) rests on and that generic
-linters cannot know about.  It runs in two passes: pass 1 checks each
-file in isolation, pass 2 (:mod:`tools.reprolint.crossmod`) builds a
-repo-wide symbol table over ``src/repro`` and checks contracts between
-modules.
+linters cannot know about.  It runs in three passes: pass 1 checks
+each file in isolation, pass 2 (:mod:`tools.reprolint.crossmod`)
+builds a repo-wide symbol table over ``src/repro`` and checks
+contracts between modules, and pass 3
+(:mod:`tools.reprolint.concurrency`) builds a worker-reachability call
+graph over that symbol table and checks fork/pickle/shared-memory
+safety.
 
 Pass 1 (per file):
 
@@ -48,6 +51,30 @@ RPL009    Public array-typed functions in the contract-bearing modules
           ``CSRSpec``, …).
 RPL010    ``docs/OBSERVABILITY.md`` and ``repro.obs.names`` list the
           same names — the metric catalogue cannot silently rot.
+RPL011    Worker pools are constructed only in ``repro.parallel`` —
+          the sanctioned shared-memory fan-out layer.
+========  ==============================================================
+
+Pass 3 (concurrency safety, over the worker-reachability call graph
+rooted at every callable dispatched across a process boundary):
+
+========  ==============================================================
+RPL012    Worker-dispatched callables are importable module-level
+          functions — no lambdas, closures, or bound methods
+          (fork+pickle hazard).
+RPL013    No writes to arrays derived from ``attach_pack`` /
+          ``attach_csd`` in worker-reachable code — attached
+          shared-memory views are read-only by contract.
+RPL014    ``shared_memory.SharedMemory`` construction and
+          ``resource_tracker`` bookkeeping confined to
+          ``repro/parallel/shm.py``; every ``create=True`` site there
+          is structurally paired with an unlink path.
+RPL015    No module-level mutable state mutated from worker-reachable
+          code — ``fork`` snapshots globals, so parent and worker
+          silently diverge (``shm.py``'s per-process attach cache is
+          the sanctioned exception).
+RPL016    No ``threading`` primitives or ``ThreadPoolExecutor`` in
+          worker-reachable modules (threads + fork deadlock hazard).
 ========  ==============================================================
 
 Suppression: put ``# reprolint: allow-<name>`` on the flagged statement
@@ -56,13 +83,16 @@ block directly above it — for decorated functions, above the first
 decorator (``allow-lonlat``, ``allow-loop``, ``allow-unordered``,
 ``allow-legacy-random``, ``allow-mutable-default``,
 ``allow-direct-timing``, ``allow-dtype``, ``allow-metric-name``,
-``allow-contract``).  RPL010 anchors in the markdown doc, which has no
+``allow-contract``, ``allow-pool``, ``allow-worker-callable``,
+``allow-attached-write``, ``allow-shm``, ``allow-worker-global``,
+``allow-thread``).  RPL010 anchors in the markdown doc, which has no
 pragma channel — fix the drift instead.
 
 Run ``python -m tools.reprolint src/`` from the repository root; see
 ``docs/STATIC_ANALYSIS.md`` for the full rationale of each rule.
 """
 
+from tools.reprolint.concurrency import check_concurrency
 from tools.reprolint.crossmod import (
     ALIAS_DTYPES,
     CONTRACT_MODULES,
@@ -73,6 +103,7 @@ from tools.reprolint.crossmod import (
 )
 from tools.reprolint.rules import (
     ALL_RULES,
+    RULE_SEVERITY,
     Finding,
     check_file,
     check_paths,
@@ -87,7 +118,9 @@ __all__ = [
     "CONTRACT_MODULES",
     "Finding",
     "Project",
+    "RULE_SEVERITY",
     "build_project",
+    "check_concurrency",
     "check_file",
     "check_paths",
     "check_project",

@@ -1,0 +1,1139 @@
+"""Concurrency-safety analysis pass (pass 3) for reprolint.
+
+The shared-memory parallel layer (``src/repro/parallel/``, PR 6) is
+correct only while a handful of conventions hold: workers are forked,
+dispatched callables are picklable module-level functions, attached
+shared-memory views stay read-only, segment ownership is confined to
+one module, and nothing worker-reachable mutates fork-snapshotted
+globals or spawns threads.  None of that is visible to mypy or to the
+per-file pass.  This pass makes the conventions machine-checked.
+
+It reuses pass 2's project symbol table (:class:`~tools.reprolint.
+crossmod.Project`) and builds a **worker-reachability call graph**:
+
+1. *Dispatch roots* — every callable that crosses a process boundary:
+   the first argument of ``submit``/``map``/``starmap``/``imap``/
+   ``apply_async``-style calls, plus ``initializer=``/``target=``
+   keywords of pool/process constructors.
+2. *Reachable functions* — the transitive closure of statically
+   resolvable calls from those roots, across modules (imports are
+   followed through the symbol table; attribute calls resolve through
+   imported module aliases and project-local classes).
+3. *Reachable modules* — the modules containing reachable functions,
+   plus their transitive ``repro.*`` imports (a forked worker inherits
+   every imported module's state, not just the functions it calls).
+
+Rules checked over that graph:
+
+``RPL012``
+    A dispatched callable must be an importable module-level function.
+    Lambdas, locally-defined closures, and bound methods either fail to
+    pickle outright or — worse, under ``fork`` — silently capture
+    parent state that diverges from the worker's.
+
+``RPL013``
+    Worker-reachable code must not write to arrays derived from
+    ``attach_pack``/``attach_csd``.  The attached views are
+    deliberately ``writeable=False``; a write would be a torn,
+    unsynchronised mutation of memory shared by every worker.  Item
+    and slice assignment, augmented assignment, ``out=`` keywords, and
+    in-place ndarray methods (``fill``/``sort``/``put``/…) on tainted
+    values are findings, as is re-enabling ``writeable``.  Taint is
+    tracked intra-procedurally and propagated through call arguments
+    into resolved callees' parameters.
+
+``RPL014``
+    ``shared_memory.SharedMemory`` construction and
+    ``resource_tracker``/``unregister`` calls are confined to
+    ``repro/parallel/shm.py`` — segment lifecycle has exactly one
+    owner.  Within ``shm.py``, every ``create=True`` site must be
+    structurally paired with an unlink path: lexically inside a
+    ``try`` whose handler/finally calls an ``unlink``-named cleanup,
+    or in a class that defines ``unlink``/``__exit__``.
+
+``RPL015``
+    Worker-reachable code must not mutate module-level mutable state
+    (``global`` rebinding, subscript/augmented assignment, or mutating
+    method calls on module-level containers).  ``fork`` snapshots
+    globals at pool start; parent and worker then diverge silently.
+    ``repro/parallel/shm.py`` is exempt — its per-process attachment
+    cache *is* the sanctioned worker-side state, and the leak-gate
+    fixture asserts its lifecycle.
+
+``RPL016``
+    No ``threading`` primitives or ``ThreadPoolExecutor`` in
+    worker-reachable modules.  A lock held by another parent thread at
+    ``fork`` time is copied locked into the child and deadlocks it;
+    threads themselves are never replicated by fork.  Vetted sites
+    (e.g. a registry lock guarding short pure-Python sections in a
+    package that spawns no threads) carry ``# reprolint: allow-thread``
+    with a justification.
+
+Like passes 1 and 2, everything is stdlib-``ast`` and purely syntactic;
+``# reprolint: allow-<name>`` pragmas suppress individual findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.crossmod import FunctionInfo, ModuleInfo, Project
+from tools.reprolint.rules import (
+    ALL_RULES,
+    Finding,
+    _call_name,
+    _dotted,
+    is_suppressed,
+)
+
+__all__ = [
+    "DISPATCH_METHODS",
+    "DISPATCH_KEYWORDS",
+    "SHM_OWNER_MODULE",
+    "check_concurrency",
+]
+
+#: Method names whose first positional argument is dispatched to a
+#: worker process (``executor.submit(fn, ...)``, ``pool.map(fn, it)``).
+DISPATCH_METHODS: FrozenSet[str] = frozenset(
+    {
+        "submit",
+        "map",
+        "starmap",
+        "starmap_async",
+        "imap",
+        "imap_unordered",
+        "apply",
+        "apply_async",
+        "map_async",
+    }
+)
+
+#: Keyword arguments that carry a callable across the process boundary
+#: on pool/process constructors.
+DISPATCH_KEYWORDS: FrozenSet[str] = frozenset({"initializer", "target"})
+
+#: Constructors whose ``map``/``submit`` methods stay in-process —
+#: their dispatch sites are *not* process boundaries.  (``Thread``/
+#: ``ThreadPoolExecutor`` targets never cross a pickle boundary, and
+#: RPL016 polices their presence separately.)
+_IN_PROCESS_POOLS: FrozenSet[str] = frozenset({"ThreadPoolExecutor", "ThreadPool"})
+
+#: The one module allowed to construct/unlink shared-memory segments.
+SHM_OWNER_MODULE = "repro.parallel.shm"
+
+#: Modules whose module-level mutable state is the *sanctioned*
+#: per-process worker cache (RPL015 exempt; the session leak gate in
+#: tests/conftest.py asserts its lifecycle instead).
+_RPL015_EXEMPT_MODULES: FrozenSet[str] = frozenset({SHM_OWNER_MODULE})
+
+#: Functions whose return value is an attached shared-memory view (the
+#: RPL013 taint sources).
+_ATTACH_FUNCS: FrozenSet[str] = frozenset({"attach_pack", "attach_csd"})
+
+#: ndarray methods that mutate in place.
+_INPLACE_NDARRAY_METHODS: FrozenSet[str] = frozenset(
+    {
+        "fill",
+        "sort",
+        "partition",
+        "put",
+        "itemset",
+        "resize",
+        "setfield",
+        "byteswap",
+        "setflags",
+    }
+)
+
+#: threading-module callables that are fork hazards when constructed in
+#: a worker-reachable module (locks copy their held state into the
+#: child; threads silently vanish).
+_THREADING_PRIMITIVES: FrozenSet[str] = frozenset(
+    {
+        "Thread",
+        "Timer",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "local",
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# symbol resolution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Symbol:
+    """What a module-level name in one module resolves to."""
+
+    kind: str  # "func" | "class" | "module" | "external"
+    #: for "func": the FunctionInfo; for "class": the ClassDef node's
+    #: module + name; for "module": the dotted target module.
+    target: object = None
+
+
+@dataclass
+class _ModuleSymbols:
+    """Module-level binding table for one project module."""
+
+    info: ModuleInfo
+    #: name -> _Symbol
+    names: Dict[str, _Symbol] = field(default_factory=dict)
+    #: class name -> {method name -> FunctionInfo}
+    classes: Dict[str, Dict[str, FunctionInfo]] = field(default_factory=dict)
+    #: dotted repro modules imported (for the RPL016 module closure).
+    repro_imports: Set[str] = field(default_factory=set)
+
+
+def _index_project(project: Project) -> Dict[str, _ModuleSymbols]:
+    """Build per-module symbol tables over the pass-2 project."""
+    # Top-level (non-nested) functions and methods, keyed for lookup.
+    toplevel: Dict[Tuple[str, str], FunctionInfo] = {}
+    methods: Dict[Tuple[str, str], Dict[str, FunctionInfo]] = {}
+    for fn in project.functions:
+        if "<locals>" in fn.qualname:
+            continue
+        if "." not in fn.qualname:
+            toplevel[(fn.module, fn.qualname)] = fn
+        else:
+            cls, _, meth = fn.qualname.rpartition(".")
+            if "." not in cls:  # one nesting level: a class method
+                methods.setdefault((fn.module, cls), {})[meth] = fn
+
+    tables: Dict[str, _ModuleSymbols] = {}
+    for dotted, info in project.modules.items():
+        table = _ModuleSymbols(info=info)
+        for (mod, cls), meths in methods.items():
+            if mod == dotted:
+                table.classes[cls] = meths
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = toplevel.get((dotted, node.name))
+                if fn is not None:
+                    table.names[node.name] = _Symbol("func", fn)
+            elif isinstance(node, ast.ClassDef):
+                table.names[node.name] = _Symbol("class", (dotted, node.name))
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    table.names[bound] = _Symbol("module", target)
+                    if alias.name.startswith("repro"):
+                        table.repro_imports.add(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                src = node.module or ""
+                if node.level:
+                    # Relative import: anchor at the importing package.
+                    base = dotted.split(".")
+                    if info.path.endswith("__init__.py"):
+                        base = base[: len(base) - node.level + 1]
+                    else:
+                        base = base[: len(base) - node.level]
+                    src = ".".join(base + ([src] if src else []))
+                if src.startswith("repro"):
+                    table.repro_imports.add(src)
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    table.names[bound] = _Symbol(
+                        "import_from", (src, alias.name)
+                    )
+        tables[dotted] = table
+    return tables
+
+
+class _Resolver:
+    """Resolve names/attribute chains to project functions."""
+
+    def __init__(self, tables: Dict[str, _ModuleSymbols]) -> None:
+        self.tables = tables
+
+    def resolve_name(
+        self, module: str, name: str, _depth: int = 0
+    ) -> Optional[_Symbol]:
+        """Follow a module-level name to its defining symbol."""
+        if _depth > 16:  # re-export cycles
+            return None
+        table = self.tables.get(module)
+        if table is None:
+            return None
+        sym = table.names.get(name)
+        if sym is None:
+            return None
+        if sym.kind == "import_from":
+            src, orig = sym.target  # type: ignore[misc]
+            # ``from repro.x import y`` binds either a symbol of
+            # repro.x or the submodule repro.x.y.
+            resolved = self.resolve_name(src, orig, _depth + 1)
+            if resolved is not None:
+                return resolved
+            if f"{src}.{orig}" in self.tables:
+                return _Symbol("module", f"{src}.{orig}")
+            return _Symbol("external")
+        return sym
+
+    def resolve_callable(
+        self, module: str, node: ast.expr
+    ) -> Tuple[str, Optional[FunctionInfo]]:
+        """Classify a dispatched-callable expression.
+
+        Returns ``(kind, fn)`` where kind is one of ``"func"`` (a
+        module-level project function, fn set), ``"lambda"``,
+        ``"local"`` (nested def / closure), ``"bound"`` (attribute on
+        an instance), or ``"opaque"`` (unresolvable: builtin, external
+        library, or a variable — pass 3 gives it the benefit of the
+        doubt).
+        """
+        if isinstance(node, ast.Lambda):
+            return "lambda", None
+        if isinstance(node, ast.Call) and _call_name(node.func) == "partial":
+            if node.args:
+                return self.resolve_callable(module, node.args[0])
+            return "opaque", None
+        if isinstance(node, ast.Name):
+            sym = self.resolve_name(module, node.id)
+            if sym is None:
+                return "opaque", None
+            if sym.kind == "func":
+                return "func", sym.target  # type: ignore[return-value]
+            return "opaque", None
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name):
+                sym = self.resolve_name(module, base.id)
+                if sym is not None and sym.kind == "module":
+                    target_mod = sym.target  # type: ignore[assignment]
+                    inner = self.resolve_name(str(target_mod), node.attr)
+                    if inner is not None and inner.kind == "func":
+                        return "func", inner.target  # type: ignore[return-value]
+                    return "opaque", None
+                if sym is not None and sym.kind == "class":
+                    cls_mod, cls_name = sym.target  # type: ignore[misc]
+                    table = self.tables.get(cls_mod)
+                    if table is not None:
+                        meth = table.classes.get(cls_name, {}).get(node.attr)
+                        if meth is not None:
+                            # classmethod/staticmethod access via the
+                            # class is importable; flag via RPL012 only
+                            # when plainly an instance attribute.
+                            return "func", meth
+                    return "opaque", None
+            return "bound", None
+        return "opaque", None
+
+    def resolve_call_target(
+        self, module: str, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        """Resolve a call inside a function body to a project function
+        (module-level function, imported function, ``mod.fn``,
+        ``Class(...)``'s ``__init__``, or ``Class.method``)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            sym = self.resolve_name(module, func.id)
+            if sym is None:
+                return None
+            if sym.kind == "func":
+                return sym.target  # type: ignore[return-value]
+            if sym.kind == "class":
+                cls_mod, cls_name = sym.target  # type: ignore[misc]
+                table = self.tables.get(cls_mod)
+                if table is not None:
+                    return table.classes.get(cls_name, {}).get("__init__")
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            sym = self.resolve_name(module, func.value.id)
+            if sym is None:
+                return None
+            if sym.kind == "module":
+                inner = self.resolve_name(str(sym.target), func.attr)
+                if inner is not None and inner.kind == "func":
+                    return inner.target  # type: ignore[return-value]
+                if inner is not None and inner.kind == "class":
+                    cls_mod, cls_name = inner.target  # type: ignore[misc]
+                    table = self.tables.get(cls_mod)
+                    if table is not None:
+                        return table.classes.get(cls_name, {}).get("__init__")
+                return None
+            if sym.kind == "class":
+                cls_mod, cls_name = sym.target  # type: ignore[misc]
+                table = self.tables.get(cls_mod)
+                if table is not None:
+                    return table.classes.get(cls_name, {}).get(func.attr)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# dispatch-site discovery (RPL012 roots)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _DispatchSite:
+    """One callable crossing a process boundary."""
+
+    info: ModuleInfo
+    call: ast.Call
+    callable_expr: ast.expr
+    #: 0-based index of the first worker-bound payload argument (after
+    #: the callable), used to seed RPL013 taint at the boundary.
+    arg_offset: int
+    #: Innermost function containing the dispatch call (None at module
+    #: level); a dispatched Name defined as a ``def`` inside it is a
+    #: closure, not an importable module-level function.
+    owner: Optional[ast.AST] = None
+
+
+def _defines_local_function(owner: ast.AST, name: str) -> bool:
+    """Does ``owner`` (a function) contain a nested ``def name``?"""
+    for node in ast.walk(owner):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not owner
+            and node.name == name
+        ):
+            return True
+    return False
+
+
+def _enclosing_function_map(info: ModuleInfo) -> Dict[int, ast.AST]:
+    """Map each Call node id to its innermost enclosing function."""
+    out: Dict[int, ast.AST] = {}
+
+    def walk(node: ast.AST, owner: Optional[ast.AST]) -> None:
+        for child in ast.iter_child_nodes(node):
+            next_owner = owner
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                next_owner = child
+            if isinstance(child, ast.Call) and owner is not None:
+                out[id(child)] = owner
+            walk(child, next_owner)
+
+    walk(info.tree, None)
+    return out
+
+
+def _iter_dispatch_sites(info: ModuleInfo) -> Iterable[_DispatchSite]:
+    owners = _enclosing_function_map(info)
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        owner = owners.get(id(node))
+        name = _call_name(node.func)
+        if (
+            name in DISPATCH_METHODS
+            and isinstance(node.func, ast.Attribute)
+            and node.args
+        ):
+            yield _DispatchSite(info, node, node.args[0], arg_offset=1, owner=owner)
+        if name in _IN_PROCESS_POOLS:
+            continue
+        for kw in node.keywords:
+            if kw.arg in DISPATCH_KEYWORDS:
+                yield _DispatchSite(info, node, kw.value, arg_offset=0, owner=owner)
+
+
+# ---------------------------------------------------------------------------
+# the pass
+# ---------------------------------------------------------------------------
+
+
+class _Pass3:
+    def __init__(self, project: Project, select: Optional[FrozenSet[str]]) -> None:
+        self.project = project
+        self.select = select
+        self.tables = _index_project(project)
+        self.resolver = _Resolver(self.tables)
+        self.findings: List[Finding] = []
+        #: FunctionInfo id -> FunctionInfo for the worker-reachable set.
+        self.reachable: Dict[int, FunctionInfo] = {}
+        #: FunctionInfo id -> set of tainted parameter names (RPL013).
+        self.tainted_params: Dict[int, Set[str]] = {}
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _report(
+        self, info: ModuleInfo, node: ast.AST, rule: str, message: str
+    ) -> None:
+        if self.select is not None and rule not in self.select:
+            return
+        pragma, _ = ALL_RULES[rule]
+        if is_suppressed(
+            node, pragma, info.pragmas, info.comment_lines, info.decorator_lines
+        ):
+            return
+        self.findings.append(
+            Finding(
+                path=info.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # -- RPL012 + reachability seeding ---------------------------------
+
+    def check_dispatch_sites(self) -> List[FunctionInfo]:
+        roots: List[FunctionInfo] = []
+        for info in self.project.modules.values():
+            for site in _iter_dispatch_sites(info):
+                kind, fn = self.resolver.resolve_callable(
+                    info.module, site.callable_expr
+                )
+                # A dispatched Name defined by a ``def`` nested in the
+                # dispatching function shadows any module-level binding:
+                # it is a closure, whatever the symbol table says.
+                if (
+                    kind in ("func", "opaque")
+                    and isinstance(site.callable_expr, ast.Name)
+                    and site.owner is not None
+                    and _defines_local_function(
+                        site.owner, site.callable_expr.id
+                    )
+                ):
+                    self._report(
+                        info,
+                        site.call,
+                        "RPL012",
+                        f"locally-defined function "
+                        f"{site.callable_expr.id!r} dispatched to a "
+                        "worker process; closures do not pickle and "
+                        "capture fork-stale parent state — hoist it to "
+                        "module level",
+                    )
+                    continue
+                if kind == "lambda":
+                    self._report(
+                        info,
+                        site.call,
+                        "RPL012",
+                        "lambda dispatched to a worker process; lambdas "
+                        "do not pickle — dispatch an importable "
+                        "module-level function",
+                    )
+                elif kind == "bound":
+                    self._report(
+                        info,
+                        site.call,
+                        "RPL012",
+                        f"bound method {_dotted(site.callable_expr) or '<attribute>'!s} "
+                        "dispatched to a worker process; the pickled "
+                        "instance (or fork-captured self) diverges from "
+                        "the parent — dispatch a module-level function "
+                        "taking explicit arguments",
+                    )
+                elif kind == "func" and fn is not None:
+                    if "<locals>" in fn.qualname:
+                        self._report(
+                            info,
+                            site.call,
+                            "RPL012",
+                            f"locally-defined function {fn.qualname!r} "
+                            "dispatched to a worker process; closures do "
+                            "not pickle and capture fork-stale parent "
+                            "state — hoist it to module level",
+                        )
+                    elif "." in fn.qualname:
+                        self._report(
+                            info,
+                            site.call,
+                            "RPL012",
+                            f"method {fn.qualname!r} dispatched to a "
+                            "worker process; dispatch a module-level "
+                            "function so the callable is importable by "
+                            "qualified name",
+                        )
+                    else:
+                        roots.append(fn)
+                        self._seed_dispatch_taint(info, site, fn)
+        return roots
+
+    def _seed_dispatch_taint(
+        self, info: ModuleInfo, site: _DispatchSite, fn: FunctionInfo
+    ) -> None:
+        """Taint worker-function parameters bound to attach results at
+        the dispatch site (rare, but ``submit(fn, attach_pack(h))`` is
+        exactly the aliasing RPL013 exists for)."""
+        params = _positional_params(fn.node)
+        for i, arg in enumerate(site.call.args[site.arg_offset :]):
+            if (
+                isinstance(arg, ast.Call)
+                and _call_name(arg.func) in _ATTACH_FUNCS
+                and i < len(params)
+            ):
+                self.tainted_params.setdefault(id(fn), set()).add(params[i])
+
+    # -- reachability --------------------------------------------------
+
+    def compute_reachable(self, roots: Sequence[FunctionInfo]) -> None:
+        queue = list(roots)
+        for fn in queue:
+            self.reachable[id(fn)] = fn
+        while queue:
+            fn = queue.pop()
+            for call in ast.walk(fn.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                callee = self.resolver.resolve_call_target(fn.module, call)
+                if callee is not None and id(callee) not in self.reachable:
+                    self.reachable[id(callee)] = callee
+                    queue.append(callee)
+
+    def reachable_modules(self) -> Dict[str, str]:
+        """Worker-reachable modules and why: ``{dotted: reason}``.
+
+        Contains every module defining a reachable function plus the
+        transitive ``repro.*`` import closure — a forked worker
+        inherits all of it.
+        """
+        out: Dict[str, str] = {}
+        queue: List[Tuple[str, str]] = []
+        for fn in self.reachable.values():
+            if fn.module not in out:
+                out[fn.module] = f"defines worker-reachable {fn.qualname}()"
+                queue.append((fn.module, fn.module))
+        while queue:
+            dotted, root = queue.pop()
+            table = self.tables.get(dotted)
+            if table is None:
+                continue
+            for imported in sorted(table.repro_imports):
+                if imported in out or imported not in self.tables:
+                    continue
+                out[imported] = f"imported (transitively) by {root}"
+                queue.append((imported, root))
+        return out
+
+    # -- RPL013: no writes through attached views ----------------------
+
+    def check_attached_writes(self) -> None:
+        # Fixpoint: inter-procedural taint through call arguments can
+        # unlock new tainted params, which can unlock further calls.
+        for _ in range(8):
+            changed = False
+            for fn in list(self.reachable.values()):
+                if self._taint_function(fn):
+                    changed = True
+            if not changed:
+                break
+        for fn in self.reachable.values():
+            self._report_tainted_writes(fn)
+
+    def _taint_function(self, fn: FunctionInfo) -> bool:
+        """Propagate taint out of ``fn`` into callee params; returns
+        True when any new parameter became tainted."""
+        tainted = self._local_taint(fn)
+        changed = False
+        for call in ast.walk(fn.node):
+            if not isinstance(call, ast.Call):
+                continue
+            callee = self.resolver.resolve_call_target(fn.module, call)
+            if callee is None or id(callee) not in self.reachable:
+                continue
+            params = _positional_params(callee.node)
+            skip_self = bool(params) and params[0] == "self"
+            base = 1 if skip_self else 0
+            for i, arg in enumerate(call.args):
+                if base + i >= len(params):
+                    break
+                if self._expr_tainted(arg, tainted):
+                    bucket = self.tainted_params.setdefault(id(callee), set())
+                    if params[base + i] not in bucket:
+                        bucket.add(params[base + i])
+                        changed = True
+            for kw in call.keywords:
+                if kw.arg and kw.arg in params and self._expr_tainted(
+                    kw.value, tainted
+                ):
+                    bucket = self.tainted_params.setdefault(id(callee), set())
+                    if kw.arg not in bucket:
+                        bucket.add(kw.arg)
+                        changed = True
+        return changed
+
+    def _local_taint(self, fn: FunctionInfo) -> Set[str]:
+        """Names bound to attach-derived values inside ``fn``."""
+        tainted: Set[str] = set(self.tainted_params.get(id(fn), set()))
+        # Two sweeps catch forward references through simple chains.
+        for _ in range(2):
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Assign):
+                    if self._expr_tainted(node.value, tainted):
+                        for target in node.targets:
+                            for name in _target_names(target):
+                                tainted.add(name)
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    if self._expr_tainted(node.value, tainted):
+                        tainted.update(_target_names(node.target))
+        return tainted
+
+    def _expr_tainted(self, node: ast.expr, tainted: Set[str]) -> bool:
+        """Is this expression (a chain over) an attached view?"""
+        if isinstance(node, ast.Call):
+            return _call_name(node.func) in _ATTACH_FUNCS
+        if isinstance(node, ast.Name):
+            return node.id in tainted
+        if isinstance(node, (ast.Subscript, ast.Attribute, ast.Starred)):
+            return self._expr_tainted(node.value, tainted)
+        return False
+
+    def _report_tainted_writes(self, fn: FunctionInfo) -> None:
+        info = self.project.modules[fn.module]
+        tainted = self._local_taint(fn)
+        if not tainted:
+            return
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and self._expr_tainted(
+                        target.value, tainted
+                    ):
+                        self._report(
+                            info,
+                            node,
+                            "RPL013",
+                            "item/slice assignment into an attached "
+                            "shared-memory view in worker-reachable code; "
+                            "attached views are read-only by contract — "
+                            "copy before mutating",
+                        )
+                    elif (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "writeable"
+                        and self._expr_tainted(target.value, tainted)
+                        and isinstance(node.value, ast.Constant)
+                        and node.value.value is True
+                    ):
+                        self._report(
+                            info,
+                            node,
+                            "RPL013",
+                            "re-enabling writeable on an attached "
+                            "shared-memory view in worker-reachable code "
+                            "defeats the read-only contract",
+                        )
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+                base = target.value if isinstance(
+                    target, (ast.Subscript, ast.Attribute)
+                ) else target
+                if self._expr_tainted(base, tainted):
+                    self._report(
+                        info,
+                        node,
+                        "RPL013",
+                        "augmented assignment mutates an attached "
+                        "shared-memory view in worker-reachable code; "
+                        "attached views are read-only by contract",
+                    )
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg == "out" and self._expr_tainted(kw.value, tainted):
+                        self._report(
+                            info,
+                            node,
+                            "RPL013",
+                            "out= targets an attached shared-memory view "
+                            "in worker-reachable code; in-place numpy "
+                            "output into a shared view is a torn write",
+                        )
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _INPLACE_NDARRAY_METHODS
+                    and self._expr_tainted(node.func.value, tainted)
+                ):
+                    self._report(
+                        info,
+                        node,
+                        "RPL013",
+                        f".{node.func.attr}() mutates an attached "
+                        "shared-memory view in place in worker-reachable "
+                        "code; attached views are read-only by contract",
+                    )
+
+    # -- RPL014: segment lifecycle confined to shm.py ------------------
+
+    def check_shm_confinement(self) -> None:
+        for info in self.project.modules.values():
+            in_owner = info.module == SHM_OWNER_MODULE
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Call):
+                    name = _call_name(node.func)
+                    dotted = _dotted(node.func)
+                    if name == "SharedMemory":
+                        if not in_owner:
+                            self._report(
+                                info,
+                                node,
+                                "RPL014",
+                                "shared_memory.SharedMemory constructed "
+                                f"outside {SHM_OWNER_MODULE}; segment "
+                                "lifecycle (create/unlink pairing, atexit "
+                                "sweep, leak accounting) has exactly one "
+                                "owner — export through repro.parallel",
+                            )
+                        elif _has_create_true(node) and not self._create_paired(
+                            info, node
+                        ):
+                            self._report(
+                                info,
+                                node,
+                                "RPL014",
+                                "SharedMemory(create=True) site is not "
+                                "structurally paired with an unlink path "
+                                "(no enclosing try handler/finally calling "
+                                "an unlink, and the enclosing class "
+                                "defines no unlink()) — a failure here "
+                                "leaks the segment",
+                            )
+                    if name == "unregister" and "resource_tracker" in dotted:
+                        if not in_owner:
+                            self._report(
+                                info,
+                                node,
+                                "RPL014",
+                                "resource_tracker.unregister outside "
+                                f"{SHM_OWNER_MODULE}; tracker bookkeeping "
+                                "belongs to the segment owner — a stray "
+                                "unregister erases the parent's own "
+                                "registration",
+                            )
+                elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                    if in_owner:
+                        continue
+                    modules = (
+                        [a.name for a in node.names]
+                        if isinstance(node, ast.Import)
+                        else [node.module or ""]
+                    )
+                    names = (
+                        [a.name for a in node.names]
+                        if isinstance(node, ast.ImportFrom)
+                        else []
+                    )
+                    if any(
+                        m.endswith("resource_tracker") for m in modules
+                    ) or "resource_tracker" in names:
+                        self._report(
+                            info,
+                            node,
+                            "RPL014",
+                            "resource_tracker imported outside "
+                            f"{SHM_OWNER_MODULE}; tracker bookkeeping "
+                            "belongs to the segment owner",
+                        )
+
+    def _create_paired(self, info: ModuleInfo, create: ast.Call) -> bool:
+        """Is a ``create=True`` site structurally paired with unlink?
+
+        True when the call is lexically inside a ``try`` whose handlers
+        or ``finally`` call an ``unlink``-named cleanup, or inside a
+        class that defines an ``unlink`` (or ``_unlink*``) method or
+        ``__exit__``.
+        """
+        path = _ancestors(info.tree, create)
+        for node in path:
+            if isinstance(node, ast.Try):
+                cleanup_bodies: List[Sequence[ast.stmt]] = [
+                    handler.body for handler in node.handlers
+                ]
+                cleanup_bodies.append(node.finalbody)
+                for body in cleanup_bodies:
+                    for stmt in body:
+                        for sub in ast.walk(stmt):
+                            if isinstance(sub, ast.Call) and "unlink" in _call_name(
+                                sub.func
+                            ):
+                                return True
+            elif isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if isinstance(
+                        stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and ("unlink" in stmt.name or stmt.name == "__exit__"):
+                        return True
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if item.context_expr is create:
+                        return True
+        return False
+
+    # -- RPL015: no fork-divergent global mutation ---------------------
+
+    def check_global_mutation(self) -> None:
+        for fn in self.reachable.values():
+            if fn.module in _RPL015_EXEMPT_MODULES:
+                continue
+            info = self.project.modules[fn.module]
+            mutable_globals = self._module_mutable_globals(info)
+            local_names = _assigned_locals(fn.node)
+            declared_global: Set[str] = set()
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+            for node in ast.walk(fn.node):
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        name = _mutation_base_name(target)
+                        if name is None:
+                            continue
+                        rebind = isinstance(target, ast.Name)
+                        if rebind and name in declared_global:
+                            self._report(
+                                info,
+                                node,
+                                "RPL015",
+                                f"worker-reachable {fn.qualname}() rebinds "
+                                f"module global {name!r}; fork snapshots "
+                                "globals at pool start, so parent and "
+                                "worker silently diverge — pass state "
+                                "explicitly or keep it per-call",
+                            )
+                        elif (
+                            not rebind
+                            and name in mutable_globals
+                            and name not in local_names
+                        ):
+                            self._report(
+                                info,
+                                node,
+                                "RPL015",
+                                f"worker-reachable {fn.qualname}() mutates "
+                                f"module-level mutable {name!r}; the "
+                                "worker's copy diverges from the parent's "
+                                "after fork — pass state explicitly",
+                            )
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in _MUTATING_CONTAINER_METHODS
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id in mutable_globals
+                        and func.value.id not in local_names
+                    ):
+                        self._report(
+                            info,
+                            node,
+                            "RPL015",
+                            f"worker-reachable {fn.qualname}() calls "
+                            f"{func.value.id}.{func.attr}() on "
+                            "module-level mutable state; the worker's "
+                            "copy diverges from the parent's after fork",
+                        )
+
+    def _module_mutable_globals(self, info: ModuleInfo) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for node in info.tree.body:
+            target: Optional[str] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(
+                node.targets[0], ast.Name
+            ):
+                target, value = node.targets[0].id, node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                target, value = node.target.id, node.value
+            if target is None or value is None:
+                continue
+            if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                  ast.DictComp, ast.SetComp)):
+                out.add(target)
+            elif isinstance(value, ast.Call) and _call_name(value.func) in (
+                "list", "dict", "set", "bytearray", "defaultdict", "Counter",
+                "deque", "OrderedDict",
+            ):
+                out.add(target)
+        return frozenset(out)
+
+    # -- RPL016: no threads in worker-reachable modules ----------------
+
+    def check_threading(self) -> None:
+        modules = self.reachable_modules()
+        for dotted, reason in modules.items():
+            info = self.project.modules.get(dotted)
+            if info is None:
+                continue
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Call):
+                    name = _call_name(node.func)
+                    dotted_call = _dotted(node.func)
+                    is_threading_call = (
+                        dotted_call.startswith("threading.")
+                        and name in _THREADING_PRIMITIVES
+                    )
+                    table = self.tables.get(dotted)
+                    imported_primitive = False
+                    if (
+                        table is not None
+                        and isinstance(node.func, ast.Name)
+                        and name in _THREADING_PRIMITIVES
+                    ):
+                        sym = table.names.get(name)
+                        imported_primitive = (
+                            sym is not None
+                            and sym.kind == "import_from"
+                            and sym.target[0] == "threading"  # type: ignore[index]
+                        )
+                    if is_threading_call or imported_primitive:
+                        self._report(
+                            info,
+                            node,
+                            "RPL016",
+                            f"threading.{name}() in worker-reachable "
+                            f"module {dotted} ({reason}); a lock held by "
+                            "another thread at fork time is copied locked "
+                            "into the worker and deadlocks it — vetted "
+                            "sites carry '# reprolint: allow-thread'",
+                        )
+                    elif name == "ThreadPoolExecutor":
+                        self._report(
+                            info,
+                            node,
+                            "RPL016",
+                            f"ThreadPoolExecutor in worker-reachable "
+                            f"module {dotted} ({reason}); threads + fork "
+                            "deadlock — use the repro.parallel process "
+                            "pool",
+                        )
+                elif isinstance(node, ast.ImportFrom):
+                    if node.module == "concurrent.futures":
+                        for alias in node.names:
+                            if alias.name == "ThreadPoolExecutor":
+                                self._report(
+                                    info,
+                                    node,
+                                    "RPL016",
+                                    "ThreadPoolExecutor imported in "
+                                    f"worker-reachable module {dotted} "
+                                    f"({reason}); threads + fork deadlock",
+                                )
+
+
+_MUTATING_CONTAINER_METHODS: FrozenSet[str] = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "add",
+        "discard",
+        "setdefault",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+
+def _positional_params(node: ast.AST) -> List[str]:
+    args = node.args  # type: ignore[attr-defined]
+    return [a.arg for a in args.posonlyargs + args.args]
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[str] = []
+        for element in target.elts:
+            out.extend(_target_names(element))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+def _assigned_locals(fn_node: ast.AST) -> FrozenSet[str]:
+    """Names bound locally inside a function (params + plain assigns),
+    used to ignore shadowing of module globals."""
+    out: Set[str] = set(_positional_params(fn_node))
+    args = fn_node.args  # type: ignore[attr-defined]
+    out.update(a.arg for a in args.kwonlyargs)
+    if args.vararg:
+        out.add(args.vararg.arg)
+    if args.kwarg:
+        out.add(args.kwarg.arg)
+    declared_global: Set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                out.update(_target_names(target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            out.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    out.update(_target_names(item.optional_vars))
+    return frozenset(out - declared_global)
+
+
+def _mutation_base_name(target: ast.expr) -> Optional[str]:
+    """The root Name of an assignment target (``x`` for ``x[0] = ...``,
+    ``x.y += ...``, or plain ``x = ...``)."""
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _has_create_true(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "create":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def _ancestors(tree: ast.AST, needle: ast.AST) -> List[ast.AST]:
+    """Ancestor chain of ``needle`` in ``tree`` (innermost last)."""
+    path: List[ast.AST] = []
+
+    def walk(node: ast.AST, trail: List[ast.AST]) -> bool:
+        if node is needle:
+            path.extend(trail)
+            return True
+        for child in ast.iter_child_nodes(node):
+            if walk(child, trail + [node]):
+                return True
+        return False
+
+    walk(tree, [])
+    return path
+
+
+def check_concurrency(
+    project: Project, select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Run the concurrency-safety pass (RPL012–RPL016) over ``project``."""
+    chosen = frozenset(select) if select is not None else None
+    checker = _Pass3(project, chosen)
+    roots = checker.check_dispatch_sites()
+    checker.compute_reachable(roots)
+    checker.check_attached_writes()
+    checker.check_shm_confinement()
+    checker.check_global_mutation()
+    checker.check_threading()
+    return sorted(
+        checker.findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )

@@ -74,7 +74,44 @@ ALL_RULES: Dict[str, Tuple[str, str]] = {
         "(fan out through repro.parallel so shared-memory lifecycle "
         "and pool reuse stay centralised)",
     ),
+    "RPL012": (
+        "allow-worker-callable",
+        "worker-dispatched callable is not an importable module-level "
+        "function (lambdas/closures/bound methods are fork+pickle "
+        "hazards; concurrency pass)",
+    ),
+    "RPL013": (
+        "allow-attached-write",
+        "write to an attach_pack/attach_csd shared-memory view in "
+        "worker-reachable code (attached views are read-only by "
+        "contract; concurrency pass)",
+    ),
+    "RPL014": (
+        "allow-shm",
+        "shared_memory segment construction or resource-tracker "
+        "bookkeeping outside repro/parallel/shm.py, or a create=True "
+        "site with no structural unlink pairing (concurrency pass)",
+    ),
+    "RPL015": (
+        "allow-worker-global",
+        "module-level mutable state mutated from worker-reachable "
+        "code (fork snapshots globals — parent and worker silently "
+        "diverge; concurrency pass)",
+    ),
+    "RPL016": (
+        "allow-thread",
+        "threading primitive or ThreadPoolExecutor in a "
+        "worker-reachable module (threads + fork deadlock hazard; "
+        "concurrency pass)",
+    ),
 }
+
+#: rule id -> severity (``--fail-on`` threshold in the CLI).  Every
+#: current rule guards a correctness invariant, so everything defaults
+#: to ``error``; ``warning`` exists so future style-tier rules (and
+#: downstream ``--select`` users) get a documented place in the exit
+#: code contract rather than an ad-hoc one.
+RULE_SEVERITY: Dict[str, str] = {rule: "error" for rule in ALL_RULES}
 
 #: Modules whose per-element Python loops are the exact regressions the
 #: CSR kernel rewrite removed; (subpackage, filename) under repro/.
