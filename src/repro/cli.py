@@ -13,7 +13,9 @@ Subcommands cover the release workflow end to end:
   (``docs/RUNNER.md``);
 - ``repro evaluate``  — run all six approaches and print the Section 5
   metric table;
-- ``repro checkins``  — regenerate the Table 1 semantic-bias study.
+- ``repro checkins``  — regenerate the Table 1 semantic-bias study;
+- ``repro serve``     — long-running HTTP daemon answering recognition
+  and CSD queries from a persisted diagram (``docs/SERVING.md``).
 
 All state flows through files, so each step is resumable and the
 pipeline works on real data dropped into the same CSV formats.
@@ -48,6 +50,7 @@ from repro.data.io import (
 )
 from repro.data.persistence import load_csd, save_csd
 from repro.runner import PipelineRunner, Quarantine
+from repro.serve import RecognitionService, ServeConfig, make_server
 from repro.viz.svg import render_csd_svg, render_patterns_svg, save_svg
 from repro.data.poi import POIGenerator
 from repro.data.taxi import (
@@ -255,6 +258,41 @@ def cmd_checkins(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the HTTP query daemon over a persisted CSD.
+
+    Observability is always on while serving — ``GET /metrics`` returns
+    a live snapshot and never resets, so scraping is repeatable.  A
+    ``--metrics-json`` file, if requested, is written once on shutdown.
+    """
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit,
+        cache_size=args.cache_size,
+        query_dtype=args.query_dtype,
+    )
+    obs.enable()
+    service = RecognitionService(csd_path=args.csd, config=config)
+    server = make_server(
+        service, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[0], server.server_address[1]
+    print(
+        f"serving CSD ({service.csd.n_pois} POIs, "
+        f"{service.csd.n_units} units) on http://{host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for the ``repro`` command."""
     parser = argparse.ArgumentParser(
@@ -329,7 +367,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=13)
     p.set_defaults(func=cmd_checkins)
 
+    p = sub.add_parser(
+        "serve", help="HTTP daemon answering CSD queries (docs/SERVING.md)"
+    )
+    p.add_argument("--csd", required=True,
+                   help="diagram JSON saved by 'build-csd --save'")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8355,
+                   help="0 picks an ephemeral port (printed on startup)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="largest micro-batch one kernel call may serve")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="how long a batch waits for followers after the "
+                        "first request arrives")
+    p.add_argument("--queue-limit", type=int, default=1024,
+                   help="admission-queue bound; beyond it requests get 503")
+    p.add_argument("--cache-size", type=int, default=65536,
+                   help="per-cell LRU entries; 0 disables the cache")
+    p.add_argument("--query-dtype", choices=["float64", "float32"],
+                   default="float64",
+                   help="recognition kernel precision")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each HTTP request to stderr")
+    p.set_defaults(func=cmd_serve)
+
     return parser
+
+
+def _metrics_begin() -> None:
+    """Start a per-invocation metrics scope: clean registry, collecting.
+
+    The reset lives here — deliberately apart from the snapshot write —
+    so reading metrics never zeroes them.  ``repro serve`` relies on
+    that split: its ``/metrics`` endpoint snapshots the same registry
+    repeatedly while the daemon keeps accumulating.
+    """
+    obs.get_registry().reset()
+    obs.enable()
+
+
+def _metrics_write(path: str) -> None:
+    """Snapshot the registry to ``path``.  Pure read: no reset."""
+    Path(path).write_text(obs.to_json() + "\n")
+    print(f"wrote metrics snapshot -> {path}")
+
+
+def _metrics_end() -> None:
+    """Close the per-invocation scope (after any snapshot was written)."""
+    obs.disable()
+    obs.get_registry().reset()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -338,16 +424,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.metrics_json:
         # Per-invocation snapshot: start from a clean registry so the
         # file reflects exactly this command's work.
-        obs.get_registry().reset()
-        obs.enable()
+        _metrics_begin()
     try:
         code = int(args.func(args))
     finally:
         if args.metrics_json:
-            Path(args.metrics_json).write_text(obs.to_json() + "\n")
-            print(f"wrote metrics snapshot -> {args.metrics_json}")
-            obs.disable()
-            obs.get_registry().reset()
+            _metrics_write(args.metrics_json)
+            _metrics_end()
     return code
 
 

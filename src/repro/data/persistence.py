@@ -12,6 +12,7 @@ itself exactly.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -30,13 +31,22 @@ FORMAT_VERSION = 1
 
 @array_contract(csd=ArraySpec(dtype="int64", ndim=1, attr="unit_of"))
 def save_csd(path: PathLike, csd: CitySemanticDiagram) -> None:
-    """Serialise a diagram to JSON.
+    """Serialise a diagram to JSON, atomically.
 
     Non-finite values are rejected before anything is written: a
     NaN/inf popularity would otherwise be emitted as the non-standard
     JSON tokens ``NaN``/``Infinity`` (Python's default
     ``allow_nan=True``), which other parsers reject.  Raises
     ``ValueError`` naming the first offending POI index.
+
+    The document is serialised in memory, written to a ``*.tmp``
+    sibling, and :func:`os.replace`-d into place.  A crash at any point
+    therefore leaves either the previous artifact or the new one —
+    never a truncated ``csd.json``.  That matters beyond the runner
+    (whose :class:`~repro.runner.fs.FileSystem` wraps checkpoints in
+    its own tmp+replace): ``repro serve`` loads whatever path it is
+    handed, including artifacts written by a bare ``save_csd`` call
+    from ``repro build-csd --save``.
     """
     popularity = np.asarray(csd.popularity, dtype=float)
     bad = np.flatnonzero(~np.isfinite(popularity))
@@ -70,11 +80,20 @@ def save_csd(path: PathLike, csd: CitySemanticDiagram) -> None:
             for u in csd.units
         ],
     }
-    with open(path, "w", encoding="utf-8") as f:
-        # allow_nan=False backstops the popularity check above for any
-        # other float field (centroids, distributions): strict JSON or
-        # no file at all.
-        json.dump(document, f, allow_nan=False)
+    # allow_nan=False backstops the popularity check above for any
+    # other float field (centroids, distributions): strict JSON or no
+    # file at all.  Serialising before opening any file means a
+    # serialisation error cannot leave even a tmp file behind.
+    payload = json.dumps(document, allow_nan=False)
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as f:
+            f.write(payload)
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 @array_contract(

@@ -38,6 +38,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Span,
     Timer,
+    monotonic_s,
 )
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "disable",
     "enable",
     "get_registry",
+    "monotonic_s",
     "report",
     "set_registry",
     "to_json",

@@ -42,7 +42,20 @@ __all__ = [
     "Timer",
     "DEFAULT_LATENCY_BUCKETS_S",
     "DEFAULT_SIZE_BUCKETS",
+    "monotonic_s",
 ]
+
+
+def monotonic_s() -> float:
+    """Monotonic seconds from the one sanctioned clock.
+
+    Long-lived callers (the ``repro serve`` micro-batcher) need raw
+    monotonic readings for deadline arithmetic, not just aggregated
+    ``Timer`` blocks.  Exposing the clock here keeps every timing call
+    inside ``repro.obs`` (reprolint RPL006 bans direct ``time.*`` calls
+    elsewhere under ``src/repro/``).
+    """
+    return time.perf_counter()
 
 #: Default histogram bucket upper bounds for latencies, in seconds.
 #: An implicit ``+inf`` bucket always terminates the list.
@@ -156,6 +169,21 @@ class Histogram:
     @property
     def count(self) -> int:
         return self._count
+
+    def _reset_values(self) -> None:
+        """Zero all recorded observations in place (bounds persist).
+
+        Called under the registry lock.  Resetting in place — instead of
+        dropping the object from the registry — keeps every reference an
+        instrumentation site cached live: a long-running process that
+        held onto a histogram across a reset keeps recording into the
+        snapshot, not into an orphan.
+        """
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
 
     def to_dict(self) -> Dict[str, object]:
         """Flat JSON-ready form; bucket keys are stringified bounds."""
@@ -305,13 +333,25 @@ class MetricsRegistry:
         self.enabled = False
 
     def reset(self) -> None:
-        """Drop all recorded values (metric names persist)."""
+        """Drop all recorded values; metric *identity* persists.
+
+        Every ``Counter``/``Gauge``/``Histogram`` object is zeroed in
+        place rather than discarded, so references cached by
+        instrumentation sites (or held across ``repro serve`` scrapes)
+        keep feeding the registry after a reset.  The previous
+        behaviour — clearing the histogram dict — silently orphaned any
+        cached histogram: its observations kept landing in an object no
+        snapshot would ever see again.  Timings carry no cached handles
+        (``_record_timing`` re-creates slots on demand), so clearing
+        that dict is safe.
+        """
         with self._lock:
             for counter in self._counters.values():
                 counter._value = 0
             for gauge in self._gauges.values():
                 gauge._value = 0.0
-            self._histograms.clear()
+            for histogram in self._histograms.values():
+                histogram._reset_values()
             self._timings.clear()
 
     # -- metric factories ----------------------------------------------

@@ -75,6 +75,13 @@ COUNTERS: FrozenSet[str] = frozenset(
         "recognition.stays.recognized",
         "recognition.stays.unmatched",
         "recognition.votes.cast",
+        "serve.requests",
+        "serve.rejected",
+        "serve.errors",
+        "serve.batches",
+        "serve.cache.hits",
+        "serve.cache.misses",
+        "serve.reloads",
     }
 )
 
@@ -86,6 +93,8 @@ GAUGES: FrozenSet[str] = frozenset(
         "incremental.staleness",
         "pipeline.runner.resumed",
         "pipeline.runner.recognition.progress",
+        "serve.queue.depth",
+        "serve.cache.size",
     }
 )
 
@@ -94,6 +103,9 @@ HISTOGRAMS: FrozenSet[str] = frozenset(
     {
         "recognition.batch_latency_s",
         "recognition.batch_size",
+        "serve.request_latency_s",
+        "serve.batch_size",
+        "serve.batch_wait_s",
     }
 )
 
@@ -108,6 +120,7 @@ TIMERS: FrozenSet[str] = frozenset(
         "extraction.refinement",
         "recognition.batch",
         "pipeline.runner.checkpoint",
+        "serve.request",
     }
 )
 

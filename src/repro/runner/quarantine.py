@@ -34,6 +34,15 @@ class Quarantine:
     row, so a clean run leaves no quarantine file behind — its absence
     is itself the audit result.  Use as a context manager or call
     :meth:`close` explicitly.
+
+    Durability guarantees (a long-lived ``repro serve`` or streaming
+    ingest process made both of these load-bearing):
+
+    * every :meth:`add` flushes, so a process killed mid-run — the one
+      failure mode ``__exit__`` cannot catch — loses no recorded rows;
+    * reopening after :meth:`close` appends instead of truncating.  The
+      old ``"w"``-mode reopen silently destroyed every previously
+      quarantined row the first time a sink was used again.
     """
 
     def __init__(self, path: PathLike) -> None:
@@ -41,6 +50,7 @@ class Quarantine:
         self.count = 0
         self._file: Optional[IO[str]] = None
         self._writer: Optional[Any] = None  # csv writer object
+        self._header_written = False
 
     def sink(self, source: str) -> BadRowSink:
         """A :data:`BadRowSink` recording rows under ``source``."""
@@ -53,15 +63,25 @@ class Quarantine:
     def add(self, source: str, row: QuarantinedRow) -> None:
         if self._writer is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            # "a" keeps rows from a previous open of this same
+            # quarantine; the header is only emitted once per file.
             self._file = open(
-                self.path, "w", newline="", encoding="utf-8"
+                self.path, "a", newline="", encoding="utf-8"
             )
             self._writer = csv.writer(self._file)
-            self._writer.writerow(QUARANTINE_FIELDS)
+            if not self._header_written and self._file.tell() == 0:
+                self._writer.writerow(QUARANTINE_FIELDS)
+            self._header_written = True
         self._writer.writerow(
             [source, row.row_number, row.reason, row.raw]
         )
+        self._file.flush()  # type: ignore[union-attr]
         self.count += 1
+
+    def flush(self) -> None:
+        """Push any buffered rows to the OS (no-op when never opened)."""
+        if self._file is not None:
+            self._file.flush()
 
     def close(self) -> None:
         if self._file is not None:
@@ -78,5 +98,7 @@ class Quarantine:
         exc: Optional[BaseException],
         tb: Optional[TracebackType],
     ) -> bool:
+        # Close on success *and* error paths alike: an exception after
+        # rows were buffered must still land them on disk.
         self.close()
         return False

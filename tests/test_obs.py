@@ -300,3 +300,129 @@ class TestNamesRegistry:
         assert names.metric_kind("constructor.popularity") == "timer"
         assert names.metric_kind("pipeline.runner") == "span"
         assert names.metric_kind("no.such.metric") is None
+
+
+class TestThreadSafety:
+    """Concurrent mutation hammer: totals must be exact, not racy.
+
+    Unsynchronised ``+=`` on counters/histograms loses increments under
+    contention; the registry's locks make every operation atomic, and a
+    serving daemon mutates these from many handler threads at once.
+    """
+
+    def test_counter_hammer_exact_total(self, registry):
+        import threading
+
+        c = registry.counter("x")
+        n_threads, per_thread = 16, 5_000
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait(timeout=30)
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert c.value == n_threads * per_thread
+
+    def test_histogram_hammer_exact_count(self, registry):
+        import threading
+
+        h = registry.histogram("lat", buckets=(0.5,))
+        n_threads, per_thread = 16, 5_000
+        barrier = threading.Barrier(n_threads)
+
+        def worker(value):
+            barrier.wait(timeout=30)
+            for _ in range(per_thread):
+                h.observe(value)
+
+        threads = [
+            threading.Thread(target=worker, args=(0.1 if i % 2 else 0.9,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        d = h.to_dict()
+        assert d["count"] == n_threads * per_thread
+        assert d["buckets"]["0.5"] == n_threads * per_thread // 2
+
+    def test_mixed_hammer_with_snapshots(self, registry):
+        """Snapshots taken mid-hammer must never crash or observe torn
+        state (count present but total missing, etc.)."""
+        import threading
+
+        stop = threading.Event()
+        snaps = []
+
+        def mutator():
+            while not stop.is_set():
+                registry.counter("c").inc()
+                registry.gauge("g").set(1.0)
+                registry.histogram("h").observe(0.01)
+
+        def scraper():
+            while not stop.is_set():
+                snap = registry.snapshot()
+                snaps.append(snap)
+
+        threads = [threading.Thread(target=mutator) for _ in range(4)]
+        threads.append(threading.Thread(target=scraper))
+        for t in threads:
+            t.start()
+        import time as _time  # test-only; RPL006 governs src/repro
+
+        _time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert snaps
+        for snap in snaps:
+            for hist in snap["histograms"].values():
+                assert set(hist) >= {"count", "total", "buckets"}
+
+
+class TestResetIdentity:
+    """``reset()`` must zero in place, never orphan cached handles.
+
+    A long-lived process (the serve daemon) caches metric objects;
+    the old reset cleared the histogram dict, so cached handles kept
+    recording into objects no snapshot would ever see again.
+    """
+
+    def test_cached_histogram_survives_reset(self, registry):
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        registry.reset()
+        assert h.to_dict()["count"] == 0
+        # The cached handle still feeds snapshots after reset.
+        h.observe(0.7)
+        assert registry.snapshot()["histograms"]["lat"]["count"] == 1
+        assert registry.histogram("lat") is h
+
+    def test_cached_counter_and_gauge_survive_reset(self, registry):
+        c = registry.counter("c")
+        g = registry.gauge("g")
+        c.inc(5)
+        g.set(3.0)
+        registry.reset()
+        assert c.value == 0 and g.value == 0.0
+        c.inc()
+        g.set(2.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 1
+        assert snap["gauges"]["g"] == 2.0
+
+    def test_reset_preserves_histogram_buckets(self, registry):
+        h = registry.histogram("lat", buckets=(0.25, 4.0))
+        h.observe(1.0)
+        registry.reset()
+        d = h.to_dict()
+        assert d["count"] == 0
+        assert set(d["buckets"]) == {"0.25", "4.0", "+inf"}

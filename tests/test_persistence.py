@@ -138,3 +138,81 @@ class TestCorruptArtifacts:
         path.write_text(json.dumps(document))
         with pytest.raises(ValueError, match="disagrees"):
             load_csd(path)
+
+
+class TestAtomicSave:
+    def test_no_tmp_sibling_left_behind(self, small_csd, tmp_path):
+        path = tmp_path / "csd.json"
+        save_csd(path, small_csd)
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_crash_during_replace_preserves_original(
+        self, small_csd, tmp_path, monkeypatch
+    ):
+        """A save that dies at the final rename must leave the previous
+        artifact untouched and no tmp debris — the old non-atomic write
+        truncated the target before writing, so a crash destroyed it."""
+        import os as os_mod
+
+        from repro.runner.fs import SimulatedCrash
+
+        path = tmp_path / "csd.json"
+        save_csd(path, small_csd)
+        original = path.read_text()
+
+        def exploding_replace(src, dst, **kwargs):
+            raise SimulatedCrash("power loss at rename")
+
+        monkeypatch.setattr(
+            "repro.data.persistence.os.replace", exploding_replace
+        )
+        with pytest.raises(SimulatedCrash):
+            save_csd(path, small_csd)
+        monkeypatch.undo()
+        assert path.read_text() == original, "original artifact intact"
+        assert list(tmp_path.glob("*.tmp")) == [], "tmp file cleaned up"
+        # And the surviving artifact still loads.
+        assert load_csd(path).n_pois == small_csd.n_pois
+
+    def test_crash_mid_write_preserves_original(
+        self, small_csd, tmp_path, monkeypatch
+    ):
+        """Dying while the tmp file is being written must not corrupt
+        the published artifact either."""
+        import builtins
+
+        from repro.runner.fs import SimulatedCrash
+
+        path = tmp_path / "csd.json"
+        save_csd(path, small_csd)
+        original = path.read_text()
+
+        real_open = builtins.open
+
+        def exploding_open(file, *args, **kwargs):
+            if str(file).endswith(".tmp"):
+                raise SimulatedCrash("disk full opening tmp")
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", exploding_open)
+        with pytest.raises(SimulatedCrash):
+            save_csd(path, small_csd)
+        monkeypatch.undo()
+        assert path.read_text() == original
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_validation_failure_never_touches_target(
+        self, small_csd, tmp_path
+    ):
+        """Serialisation-time rejection happens before any file I/O."""
+        path = tmp_path / "csd.json"
+        save_csd(path, small_csd)
+        original = path.read_text()
+        corrupted = copy.copy(small_csd)
+        corrupted.popularity = small_csd.popularity.copy()
+        corrupted.popularity[0] = float("nan")
+        with pytest.raises(ValueError):
+            save_csd(path, corrupted)
+        assert path.read_text() == original
+        assert list(tmp_path.glob("*.tmp")) == []

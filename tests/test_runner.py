@@ -16,7 +16,7 @@ import pytest
 from repro import obs
 from repro.core.config import CSDConfig, MiningConfig
 from repro.core.miner import PervasiveMiner
-from repro.data.io import iter_trips, write_trips
+from repro.data.io import QuarantinedRow, iter_trips, write_trips
 from repro.data.taxi import trips_to_mining_trajectories
 from repro.data.trajectory import SemanticTrajectory, StayPoint
 from repro.obs import MetricsRegistry
@@ -390,3 +390,63 @@ class TestQuarantinedRun:
         assert len(trips) == 50
         assert quarantine.count == 0
         assert not (tmp_path / "quarantine.csv").exists()
+
+
+class TestQuarantineDurability:
+    """Flush-on-add and append-on-reopen: rows must survive crashes and
+    sink reuse (a serving/streaming process reopens the same file)."""
+
+    @staticmethod
+    def _row(n, reason="bad"):
+        return QuarantinedRow(row_number=n, reason=reason, raw=f"raw{n}")
+
+    def test_rows_visible_before_close(self, tmp_path):
+        """Every add flushes: a reader (or a post-mortem after SIGKILL)
+        sees all recorded rows without waiting for close()."""
+        q = Quarantine(tmp_path / "q.csv")
+        try:
+            q.add("trips", self._row(1))
+            q.add("trips", self._row(2))
+            rows = list(
+                csv.DictReader(open(tmp_path / "q.csv", encoding="utf-8"))
+            )
+            assert [r["row_number"] for r in rows] == ["1", "2"]
+        finally:
+            q.close()
+
+    def test_exception_path_closes_and_keeps_rows(self, tmp_path):
+        """An exception inside the with-block must still land buffered
+        rows on disk and release the file handle."""
+        with pytest.raises(RuntimeError, match="ingest blew up"):
+            with Quarantine(tmp_path / "q.csv") as q:
+                q.add("trips", self._row(7, "truncated"))
+                raise RuntimeError("ingest blew up")
+        assert q._file is None, "handle released on the error path"
+        rows = list(
+            csv.DictReader(open(tmp_path / "q.csv", encoding="utf-8"))
+        )
+        assert len(rows) == 1
+        assert rows[0]["reason"] == "truncated"
+
+    def test_reopen_appends_instead_of_truncating(self, tmp_path):
+        """A second open of the same quarantine file must append; the
+        old 'w'-mode reopen silently destroyed earlier rows."""
+        path = tmp_path / "q.csv"
+        with Quarantine(path) as q:
+            q.add("trips", self._row(1))
+            q.close()
+            # Same Quarantine object used again after close().
+            q.add("trips", self._row(2))
+        with Quarantine(path) as q2:
+            q2.add("pois", self._row(3))
+        rows = list(csv.DictReader(open(path, encoding="utf-8")))
+        assert [r["row_number"] for r in rows] == ["1", "2", "3"]
+        assert [r["source"] for r in rows] == ["trips", "trips", "pois"]
+        content = path.read_text(encoding="utf-8")
+        assert content.count("source,row_number,reason,raw") == 1, \
+            "exactly one header despite three opens"
+
+    def test_flush_is_safe_when_never_opened(self, tmp_path):
+        q = Quarantine(tmp_path / "q.csv")
+        q.flush()  # no file yet: must not raise or create one
+        assert not (tmp_path / "q.csv").exists()
