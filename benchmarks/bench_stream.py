@@ -1,0 +1,328 @@
+#!/usr/bin/env python
+"""Streaming bench: incremental epochs vs full recompute per epoch.
+
+Drives :class:`repro.stream.StreamEngine` over an epoch-partitioned
+taxi corpus with POIs arriving online, against a baseline that redoes
+the whole window from scratch every epoch (re-recognise every live
+trajectory + full PrefixSpan), the way a batch pipeline rerun on each
+arrival would.  Both sides share the identical diagram-maintenance
+policy (same :class:`~repro.core.incremental.IncrementalCSD` staleness
+threshold), so the measured gap isolates exactly what the streaming
+tier claims to save: re-recognition of old records and re-mining of
+unchanged subtrees.
+
+Answers three questions:
+
+* **throughput** — sustained ingest rate of the incremental path and
+  the speedup over full recompute, measured per epoch.  "Sustained"
+  means steady state: the first ``window_epochs`` epochs only fill the
+  window (the baseline's recompute is artificially cheap there), so
+  the headline numbers cover the slid epochs, where every epoch both
+  adds and retires a full batch.  The acceptance bar is >= 3x
+  steady-state on the 12k-POI workload over >= 3 window slides;
+* **exactness** — after *every* epoch the incremental pattern set must
+  equal a from-scratch PrefixSpan of the live window's recognised
+  sequences (items + support), or the bench aborts.  The baseline's
+  own patterns may differ on epochs where a repair changed old
+  records' semantics (it re-votes the whole window under the newest
+  diagram; the streaming tier deliberately never re-votes committed
+  epochs — docs/STREAMING.md) — the bench reports those epochs as
+  ``revote_drift_epochs`` instead of asserting on them;
+* **steady-state memory** — tracemalloc size of the engine after the
+  final epoch (window state only; the corpus itself is excluded),
+  measured in a separate untimed pass.
+
+Results land in ``BENCH_stream.json`` at the repo root.  ``--fast`` is
+the CI smoke mode: a small workload, no speedup assertion (CI timing
+variance), but the exactness check still runs on every epoch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py [--fast] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.core.config import CSDConfig, MiningConfig
+from repro.core.constructor import build_csd
+from repro.core.incremental import IncrementalCSD
+from repro.core.recognition import CSDRecognizer
+from repro.data.taxi import trips_to_mining_trajectories
+from repro.data.trajectory import as_tag_sequence
+from repro.eval.experiments import make_workload
+from repro.mining.prefixspan import prefixspan
+from repro.stream import StreamEngine
+
+
+def plan_epochs(trips, pois, n_epochs, base_fraction=0.9):
+    """Partition the corpus into per-epoch (trips, new_pois) batches.
+
+    POIs split 90/10: the base diagram is built from the first 90%,
+    the rest arrive online across the first half of the epochs.
+    """
+    n_base = int(len(pois) * base_fraction)
+    base_pois, stream_pois = pois[:n_base], pois[n_base:]
+    per_epoch = max(1, len(trips) // n_epochs)
+    trip_batches = [
+        trips[i * per_epoch : (i + 1) * per_epoch] for i in range(n_epochs)
+    ]
+    trip_batches[-1] = trips[(n_epochs - 1) * per_epoch :]
+    poi_epochs = max(1, n_epochs // 2)
+    poi_per = max(1, len(stream_pois) // poi_epochs)
+    poi_batches = [
+        stream_pois[i * poi_per : (i + 1) * poi_per] if i < poi_epochs else []
+        for i in range(n_epochs)
+    ]
+    return base_pois, trip_batches, poi_batches
+
+
+def pattern_key(patterns):
+    """Order/id-insensitive fingerprint: {(items, support)}."""
+    return {(p.items, p.support) for p in patterns}
+
+
+def run_incremental(base_csd, csd_config, mining_config, trip_batches,
+                    poi_batches, window_epochs, staleness_threshold):
+    """The streaming path.
+
+    Only ``process_epoch`` is timed; the per-epoch window snapshots
+    (needed for the untimed exactness check afterwards) are taken
+    outside the clock.
+    """
+    engine = StreamEngine(
+        base_csd, csd_config, mining_config,
+        window_epochs=window_epochs,
+        staleness_threshold=staleness_threshold,
+    )
+    keys = []
+    window_dbs = []
+    walls = []
+    for trips, new_pois in zip(trip_batches, poi_batches):
+        t0 = time.perf_counter()
+        result = engine.process_epoch(trips, new_pois)
+        walls.append(time.perf_counter() - t0)
+        keys.append(pattern_key(result.patterns))
+        window_dbs.append([
+            as_tag_sequence(engine.recognized_sequence(seq_id))
+            for ids in engine.window_epoch_ids().values()
+            for seq_id in ids
+        ])
+    return engine, walls, keys, window_dbs
+
+
+def run_full_recompute(base_csd, csd_config, mining_config, trip_batches,
+                       poi_batches, window_epochs, staleness_threshold):
+    """The baseline: same diagram maintenance, but every epoch
+    re-recognises the whole live window and mines it from scratch."""
+    updater = IncrementalCSD(
+        base_csd,
+        merge_radius_m=csd_config.merge_radius_m,
+        merge_cos=csd_config.merge_cos,
+    )
+    csd = base_csd
+    recognizer = CSDRecognizer(csd, csd_config.r3sigma_m)
+    window = []  # per-epoch trajectory batches (unrecognised)
+    keys = []
+    walls = []
+    for trips, new_pois in zip(trip_batches, poi_batches):
+        t0 = time.perf_counter()
+        changed = False
+        if new_pois:
+            updater.add_pois(new_pois)
+            changed = True
+        if updater.staleness() > staleness_threshold and updater.dirty_units():
+            if updater.repair(csd_config.v_min_m2, csd_config.r3sigma_m).repaired:
+                changed = True
+        if changed:
+            csd = updater.diagram()
+            recognizer = CSDRecognizer(csd, csd_config.r3sigma_m)
+        window.append(trips_to_mining_trajectories(trips))
+        window = window[-window_epochs:]
+        # Full recompute: every live trajectory re-voted, full mine.
+        recognized = recognizer.recognize(
+            [st for batch in window for st in batch]
+        )
+        database = [as_tag_sequence(st) for st in recognized]
+        patterns = prefixspan(
+            database,
+            mining_config.support,
+            min_length=mining_config.min_length,
+            max_length=mining_config.max_length,
+        )
+        walls.append(time.perf_counter() - t0)
+        keys.append(pattern_key(patterns))
+    return walls, keys
+
+
+def measure_steady_state(base_csd, csd_config, mining_config, trip_batches,
+                         poi_batches, window_epochs, staleness_threshold):
+    """Untimed pass under tracemalloc: engine footprint after the last
+    epoch (steady state) and the peak along the way."""
+    tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    engine = StreamEngine(
+        base_csd, csd_config, mining_config,
+        window_epochs=window_epochs,
+        staleness_threshold=staleness_threshold,
+    )
+    for trips, new_pois in zip(trip_batches, poi_batches):
+        engine.process_epoch(trips, new_pois)
+    current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return max(0, current - baseline), peak
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="CI smoke: tiny workload, no speedup assertion")
+    parser.add_argument("--out", default="BENCH_stream.json")
+    parser.add_argument("--window-epochs", type=int, default=4)
+    parser.add_argument("--slides", type=int, default=4,
+                        help="window slides past the fill phase (>= 3)")
+    args = parser.parse_args()
+    if args.slides < 3:
+        parser.error("--slides must be >= 3 (the acceptance bar)")
+
+    if args.fast:
+        workload = make_workload(
+            n_pois=2_000, n_passengers=60, days=3, extent_m=3_000.0
+        )
+        mining_config = MiningConfig(support=8, rho=0.001)
+    else:
+        workload = make_workload()  # the standard 12k-POI bench city
+        mining_config = MiningConfig(support=20, rho=0.001)
+    csd_config = workload.csd_config
+    n_epochs = args.window_epochs + args.slides
+    staleness_threshold = 0.02
+
+    trips = workload.taxi.trips
+    base_pois, trip_batches, poi_batches = plan_epochs(
+        trips, workload.pois, n_epochs
+    )
+    stays = [sp for st in workload.trajectories for sp in st.stay_points]
+    base_csd = build_csd(base_pois, stays, csd_config, workload.projection)
+    n_trips = sum(len(b) for b in trip_batches)
+    n_stays = sum(len(t.stay_points) for t in workload.trajectories)
+    print(f"workload: {len(workload.pois)} POIs ({len(base_pois)} base), "
+          f"{n_trips} trips over {n_epochs} epochs "
+          f"(window {args.window_epochs}, {args.slides} slides)")
+
+    engine, inc_walls, inc_keys, window_dbs = run_incremental(
+        base_csd, csd_config, mining_config, trip_batches, poi_batches,
+        args.window_epochs, staleness_threshold,
+    )
+    inc_wall = sum(inc_walls)
+    print(f"incremental: {inc_wall:.2f}s "
+          f"({n_trips / inc_wall:.0f} trips/s)")
+
+    full_walls, full_keys = run_full_recompute(
+        base_csd, csd_config, mining_config, trip_batches, poi_batches,
+        args.window_epochs, staleness_threshold,
+    )
+    full_wall = sum(full_walls)
+    print(f"full recompute: {full_wall:.2f}s "
+          f"({n_trips / full_wall:.0f} trips/s)")
+
+    # Steady state = the slid epochs (window full; every epoch adds
+    # AND retires a batch).  The fill epochs dilute the comparison —
+    # the baseline recomputes a half-empty window there.
+    steady = range(args.window_epochs, n_epochs)
+    steady_trips = sum(len(trip_batches[e]) for e in steady)
+    inc_steady = sum(inc_walls[e] for e in steady)
+    full_steady = sum(full_walls[e] for e in steady)
+    steady_speedup = full_steady / inc_steady
+    print(f"steady state ({len(steady)} slides): "
+          f"incremental {inc_steady:.2f}s "
+          f"({steady_trips / inc_steady:.0f} trips/s sustained), "
+          f"full {full_steady:.2f}s, speedup {steady_speedup:.2f}x")
+
+    # Exactness (untimed): after every epoch the incremental pattern
+    # set must equal a from-scratch mine of the live window.
+    for epoch, (inc, db) in enumerate(zip(inc_keys, window_dbs)):
+        scratch = pattern_key(prefixspan(
+            db,
+            mining_config.support,
+            min_length=mining_config.min_length,
+            max_length=mining_config.max_length,
+        ))
+        if inc != scratch:
+            raise SystemExit(
+                f"pattern mismatch at epoch {epoch}: "
+                f"incremental-only {sorted(inc - scratch)[:3]}, "
+                f"scratch-only {sorted(scratch - inc)[:3]}"
+            )
+    print(f"exactness: incremental == from-scratch on all {n_epochs} epochs")
+    revote_drift = [
+        epoch
+        for epoch, (inc, full) in enumerate(zip(inc_keys, full_keys))
+        if inc != full
+    ]
+    if revote_drift:
+        print(f"re-vote drift (expected after repairs) on epochs "
+              f"{revote_drift}")
+
+    steady, peak = measure_steady_state(
+        base_csd, csd_config, mining_config, trip_batches, poi_batches,
+        args.window_epochs, staleness_threshold,
+    )
+    speedup = full_wall / inc_wall
+    print(f"speedup: {speedup:.2f}x, steady-state {steady / 1e6:.1f} MB "
+          f"(peak {peak / 1e6:.1f} MB)")
+
+    document = {
+        "bench": "stream",
+        "fast": args.fast,
+        "workload": {
+            "n_pois": len(workload.pois),
+            "n_base_pois": len(base_pois),
+            "n_trips": n_trips,
+            "n_stay_points": n_stays,
+            "n_epochs": n_epochs,
+            "window_epochs": args.window_epochs,
+            "window_slides": args.slides,
+            "staleness_threshold": staleness_threshold,
+            "support": mining_config.support,
+        },
+        "incremental": {
+            "wall_s": inc_wall,
+            "trips_per_s": n_trips / inc_wall,
+            "epoch_walls_s": inc_walls,
+            "steady_wall_s": inc_steady,
+            "sustained_trips_per_s": steady_trips / inc_steady,
+            "final_patterns": len(engine.patterns()),
+        },
+        "full_recompute": {
+            "wall_s": full_wall,
+            "trips_per_s": n_trips / full_wall,
+            "epoch_walls_s": full_walls,
+            "steady_wall_s": full_steady,
+        },
+        "speedup": speedup,
+        "steady_state_speedup": steady_speedup,
+        "pattern_equality_epochs": n_epochs,
+        "revote_drift_epochs": revote_drift,
+        "memory": {
+            "steady_state_bytes": steady,
+            "peak_bytes": peak,
+        },
+    }
+    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not args.fast and steady_speedup < 3.0:
+        raise SystemExit(
+            f"acceptance: steady-state incremental speedup "
+            f"{steady_speedup:.2f}x < 3x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

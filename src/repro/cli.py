@@ -15,7 +15,10 @@ Subcommands cover the release workflow end to end:
   metric table;
 - ``repro checkins``  — regenerate the Table 1 semantic-bias study;
 - ``repro serve``     — long-running HTTP daemon answering recognition
-  and CSD queries from a persisted diagram (``docs/SERVING.md``).
+  and CSD queries from a persisted diagram (``docs/SERVING.md``);
+- ``repro stream``    — the online pipeline: epoch-at-a-time ingest,
+  incremental recognition, windowed pattern maintenance with durable
+  per-epoch commits and crash/resume (``docs/STREAMING.md``).
 
 All state flows through files, so each step is resumable and the
 pipeline works on real data dropped into the same CSV formats.
@@ -26,6 +29,7 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
+import urllib.request
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -49,8 +53,9 @@ from repro.data.io import (
     write_trips,
 )
 from repro.data.persistence import load_csd, save_csd
-from repro.runner import PipelineRunner, Quarantine
+from repro.runner import PipelineRunner, Quarantine, StreamRunner
 from repro.serve import RecognitionService, ServeConfig, make_server
+from repro.stream import EpochResult
 from repro.viz.svg import render_csd_svg, render_patterns_svg, save_svg
 from repro.data.poi import POIGenerator
 from repro.data.taxi import (
@@ -293,6 +298,97 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _notify_serve(base_url: str) -> None:
+    """Nudge a running ``repro serve`` daemon to hot-reload the diagram.
+
+    POSTs ``/admin/reload?if_changed=1``: epochs that left the diagram
+    untouched skip the parse + cache flush on the serving side.
+    Failures are reported but never abort the stream — the daemon may
+    simply be down.
+    """
+    url = base_url.rstrip("/") + "/admin/reload?if_changed=1"
+    request = urllib.request.Request(url, data=b"", method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=5.0) as response:
+            response.read()
+    except (OSError, ValueError) as exc:
+        print(f"warning: serve notification failed: {exc}", file=sys.stderr)
+        return
+    registry = obs.get_registry()
+    if registry.enabled:
+        registry.counter("stream.serve.notified").inc()
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """``repro stream``: the online pipeline (docs/STREAMING.md).
+
+    Consumes the trips CSV as an append-only stream in epochs of
+    ``--epoch-trips`` valid rows, absorbs ``--pois`` online, and keeps
+    the pattern set exact over a sliding window of ``--window-epochs``.
+    Every epoch is one durable commit in ``--run-dir``; ``--resume``
+    continues a killed run bit-identically.  ``--notify-serve`` points
+    at a ``repro serve`` daemon watching the run directory's
+    ``csd-latest.json`` alias.
+    """
+    run_dir = Path(args.run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    quarantine_path = Path(
+        args.quarantine if args.quarantine else run_dir / "quarantine.csv"
+    )
+    notify_url = args.notify_serve
+
+    def on_epoch(result: EpochResult) -> None:
+        line = (
+            f"epoch {result.epoch_index}: {result.n_trips} trips, "
+            f"{result.n_new_pois} new POIs, "
+            f"{len(result.patterns)} window patterns"
+        )
+        if result.repair is not None:
+            line += f", repaired {len(result.repair.scope_units)} units"
+        print(line, flush=True)
+        if notify_url:
+            _notify_serve(notify_url)
+
+    with Quarantine(quarantine_path) as quarantine:
+        runner = StreamRunner(
+            run_dir,
+            args.trips,
+            base_csd_path=args.csd,
+            pois_path=args.pois,
+            csd_config=CSDConfig(alpha=args.alpha),
+            mining_config=_mining_config(args),
+            epoch_trips=args.epoch_trips,
+            poi_batch=args.poi_batch,
+            window_epochs=args.window_epochs,
+            staleness_threshold=args.staleness_threshold,
+            resume=args.resume,
+            on_bad_row=quarantine.sink("trips"),
+            on_epoch=on_epoch,
+        )
+        report = runner.run(max_epochs=args.max_epochs)
+    resumed = " [resumed]" if report.resumed else ""
+    print(
+        f"stream{resumed}: {report.epochs_run} epochs this invocation, "
+        f"{report.trips_consumed} trips consumed, "
+        f"{report.pois_consumed} POIs absorbed, "
+        f"{len(report.patterns)} live window patterns "
+        f"({quarantine.count} rows quarantined)"
+    )
+    if quarantine.count:
+        print(f"quarantined rows -> {quarantine_path}")
+    rows = [
+        (
+            " > ".join("*" if item is None else str(item) for item in p.items),
+            p.support,
+            len(p.items),
+        )
+        for p in report.patterns[:20]
+    ]
+    if rows:
+        print(format_table(["sequence", "support", "len"], rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for the ``repro`` command."""
     parser = argparse.ArgumentParser(
@@ -390,6 +486,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="log each HTTP request to stderr")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "stream",
+        help="online epoch-at-a-time pipeline (docs/STREAMING.md)",
+    )
+    p.add_argument("--trips", required=True,
+                   help="trips CSV, treated as an append-only stream")
+    p.add_argument("--csd",
+                   help="base diagram JSON from 'build-csd --save' "
+                        "(required for a fresh run, ignored on --resume)")
+    p.add_argument("--pois",
+                   help="CSV of newly discovered POIs to absorb online")
+    p.add_argument("--run-dir", required=True,
+                   help="durable commit directory (manifest + artifacts)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the run directory's last commit")
+    p.add_argument("--quarantine",
+                   help="malformed-row CSV (default: RUN_DIR/quarantine.csv)")
+    p.add_argument("--epoch-trips", type=int, default=256,
+                   help="valid trips per epoch (the streaming unit)")
+    p.add_argument("--poi-batch", type=int, default=None,
+                   help="new POIs absorbed per epoch "
+                        "(default: all at the first epoch)")
+    p.add_argument("--window-epochs", type=int, default=4,
+                   help="sliding-window width for pattern maintenance")
+    p.add_argument("--staleness-threshold", type=float, default=0.05,
+                   help="pending-POI fraction that triggers a partial "
+                        "diagram repair")
+    p.add_argument("--max-epochs", type=int, default=None,
+                   help="stop after this many epochs this invocation")
+    p.add_argument("--notify-serve", metavar="URL",
+                   help="POST URL/admin/reload?if_changed=1 after each "
+                        "committed epoch")
+    _add_mining_args(p)
+    p.set_defaults(func=cmd_stream)
 
     return parser
 

@@ -76,16 +76,37 @@ def counterpart_cluster(
             min_length=config.min_length,
             max_length=config.max_length,
         )
-    out: List[FineGrainedPattern] = []
-    with reg.timer("extraction.refinement"):
-        for pattern in coarse:
-            out.extend(
-                _refine_coarse_pattern(pattern, database, config, projection)
-            )
+    out = refine_patterns(coarse, database, config, projection)
     if reg.enabled:
         reg.counter("extraction.sequences.mined").inc(len(database))
         reg.counter("extraction.patterns.coarse").inc(len(coarse))
         reg.counter("extraction.patterns.emitted").inc(len(out))
+    return out
+
+
+def refine_patterns(
+    coarse: Sequence[FrequentSequence],
+    database: Sequence[SemanticTrajectory],
+    config: Optional[MiningConfig] = None,
+    projection: Optional[LocalProjection] = None,
+) -> List[FineGrainedPattern]:
+    """Algorithm 4 refinement (lines 4-20) of pre-mined coarse patterns.
+
+    The coarse patterns' occurrences must be keyed by positional index
+    into ``database`` (as :func:`repro.mining.prefixspan.prefixspan`
+    produces).  Callers that mine coarse patterns elsewhere — e.g. the
+    streaming pipeline's windowed miner, whose occurrences are keyed by
+    stable sequence id — remap to positions first.
+    """
+    config = config or MiningConfig()
+    if projection is None:
+        projection = _projection_for(database)
+    out: List[FineGrainedPattern] = []
+    with get_registry().timer("extraction.refinement"):
+        for pattern in coarse:
+            out.extend(
+                _refine_coarse_pattern(pattern, database, config, projection)
+            )
     return out
 
 

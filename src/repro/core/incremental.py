@@ -13,6 +13,20 @@ the cheap online step plus a staleness signal for when to rebuild:
 - :meth:`staleness` reports the pending fraction so callers can
   schedule that rebuild.
 
+Between full rebuilds sits a third, cheaper tier: the updater tracks
+which units are *dirty* — their membership changed, or a pending POI
+landed in their merge-radius halo — and :meth:`repair` re-runs
+purification and merging over exactly that dirty scope (Algorithms 2 +
+the cosine merge), absorbing compatible pending POIs and splitting
+units that drifted impure.  The result is bit-identical to a full
+offline rebuild restricted to the same unit set; clean units are never
+touched.  ``repro.stream`` drives this from its staleness gauge.
+
+Per-POI state lives in amortised-doubling capacity buffers (explicit
+float64/int64 dtypes), so a batch of ``n`` inserts performs ``O(log
+n)`` reallocations instead of the ``O(n)`` full copies the
+``np.vstack``/``np.append``-per-insert layout paid.
+
 The updater never mutates the input diagram; :meth:`diagram` returns a
 fresh :class:`CitySemanticDiagram` view after each batch.
 """
@@ -21,18 +35,50 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.contracts import ArraySpec, array_contract
 from repro.core.csd import UNASSIGNED, CitySemanticDiagram, SemanticUnit
-from repro.core.merging import cosine_similarity, unit_distribution
+from repro.core.merging import cosine_similarity, merge_units, unit_distribution
+from repro.core.purification import purify
 from repro.data.poi import POI
 from repro.obs import get_registry
+from repro.types import Float64Array, IndexArray, MetersArray
 
 #: Floor weight matching :func:`repro.core.merging.unit_distribution`,
 #: so a never-visited POI still contributes a defined tag weight.
 _WEIGHT_FLOOR = 1e-12
+
+#: Smallest buffer capacity; avoids a flurry of tiny doublings when the
+#: base diagram is near-empty.
+_MIN_CAPACITY = 8
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What one :meth:`IncrementalCSD.repair` pass did.
+
+    ``scope_units``/``scope_members`` record the dirty units (by their
+    pre-repair ids) and their membership lists exactly as fed to
+    purification; ``scope_pending`` the pending POI indices offered to
+    the merge step.  ``new_units`` holds the resulting membership lists
+    — the oracle test re-runs ``purify`` + ``merge_units`` offline on
+    the same scope and asserts bit-identity.  ``absorbed`` lists the
+    formerly-pending POI indices that joined a unit.
+    """
+
+    scope_units: Tuple[int, ...]
+    scope_members: Tuple[Tuple[int, ...], ...]
+    scope_pending: Tuple[int, ...]
+    new_units: Tuple[Tuple[int, ...], ...]
+    absorbed: Tuple[int, ...]
+
+    @property
+    def repaired(self) -> bool:
+        return bool(self.scope_units)
 
 
 class IncrementalCSD:
@@ -60,16 +106,33 @@ class IncrementalCSD:
         self.base = base
         self.merge_radius_m = merge_radius_m
         self.merge_cos = merge_cos
-        # Working copies (the base diagram stays untouched).
+        # Working copies (the base diagram stays untouched).  Per-POI
+        # arrays live in capacity buffers that grow by doubling:
+        # appending n POIs costs O(log n) reallocations, and the public
+        # views (`_xy`, `_popularity`, `_unit_of`) always expose
+        # exactly the first `_n` rows.  Dtypes are pinned explicitly —
+        # the old np.append growth silently relied on NumPy promotion.
         self._pois: List[POI] = list(base.pois)
-        self._xy = base.poi_xy.copy()
-        self._popularity = base.popularity.copy()
-        self._unit_of = base.unit_of.copy()
+        self._n = len(self._pois)
+        self._capacity = max(_MIN_CAPACITY, self._n)
+        self._n_reallocs = 0
+        self._xy_buf = np.empty((self._capacity, 2), dtype=np.float64)
+        self._xy_buf[: self._n] = base.poi_xy
+        self._pop_buf = np.empty(self._capacity, dtype=np.float64)
+        self._pop_buf[: self._n] = base.popularity
+        self._unit_buf = np.empty(self._capacity, dtype=np.int64)
+        self._unit_buf[: self._n] = base.unit_of
         self._members: List[List[int]] = [
             list(u.poi_indices) for u in base.units
         ]
         self._n_added = 0
         self._n_pending = 0
+        #: Online-pending POI indices (base leftovers are the offline
+        #: algorithm's business and stay out of the repair scope).
+        self._pending: Set[int] = set()
+        #: Units whose membership or pending halo changed since the
+        #: last :meth:`repair` (or construction).
+        self._dirty: Set[int] = set()
         # Incremental caches: the tag list grows with each insertion
         # instead of being rebuilt from all POIs per add (the seed code
         # made add_pois quadratic in diagram size), and each unit's raw
@@ -80,8 +143,61 @@ class IncrementalCSD:
         # Mutable spatial buckets (GridIndex is immutable by design).
         self._cell = max(merge_radius_m, 1.0)
         self._buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
-        for i, (x, y) in enumerate(self._xy):
-            self._buckets[self._key(x, y)].append(i)
+        xy = self._xy
+        for i in range(self._n):
+            self._buckets[self._key(xy[i, 0], xy[i, 1])].append(i)
+
+    # -- array state -----------------------------------------------------
+
+    @property
+    def _xy(self) -> MetersArray:
+        return self._xy_buf[: self._n]
+
+    @property
+    def _popularity(self) -> Float64Array:
+        return self._pop_buf[: self._n]
+
+    @property
+    def _unit_of(self) -> IndexArray:
+        return self._unit_buf[: self._n]
+
+    @array_contract(
+        ret=(
+            ArraySpec(dtype="float64", cols=2, item=0),
+            ArraySpec(dtype="float64", ndim=1, finite=True, item=1),
+            ArraySpec(dtype="int64", ndim=1, item=2),
+        )
+    )
+    def array_state(self) -> Tuple[MetersArray, Float64Array, IndexArray]:
+        """The live per-POI arrays ``(xy, popularity, unit_of)``.
+
+        Views over the capacity buffers, pinned to the diagram's
+        float64/int64 contracts (checked under ``REPRO_SANITIZE=1``).
+        """
+        return self._xy, self._popularity, self._unit_of
+
+    def _ensure_capacity(self, needed: int) -> None:
+        """Grow all three buffers to hold ``needed`` rows (doubling)."""
+        if needed <= self._capacity:
+            return
+        new_cap = self._capacity
+        while new_cap < needed:
+            new_cap *= 2
+        xy = np.empty((new_cap, 2), dtype=np.float64)
+        xy[: self._n] = self._xy_buf[: self._n]
+        pop = np.empty(new_cap, dtype=np.float64)
+        pop[: self._n] = self._pop_buf[: self._n]
+        unit = np.empty(new_cap, dtype=np.int64)
+        unit[: self._n] = self._unit_buf[: self._n]
+        self._xy_buf, self._pop_buf, self._unit_buf = xy, pop, unit
+        self._capacity = new_cap
+        self._n_reallocs += 1
+        get_registry().counter("incremental.buffer.reallocations").inc(1)
+
+    @property
+    def n_reallocations(self) -> int:
+        """Buffer growths performed so far (O(log inserts) amortised)."""
+        return self._n_reallocs
 
     def _key(self, x: float, y: float) -> Tuple[int, int]:
         return int(np.floor(x / self._cell)), int(np.floor(y / self._cell))
@@ -89,12 +205,13 @@ class IncrementalCSD:
     def _neighbours(self, x: float, y: float) -> List[int]:
         """Indices within ``merge_radius_m`` of ``(x, y)``."""
         cx, cy = self._key(x, y)
-        out = []
+        out: List[int] = []
         r2 = self.merge_radius_m ** 2
+        xy = self._xy
         for gx in range(cx - 1, cx + 2):
             for gy in range(cy - 1, cy + 2):
                 for i in self._buckets.get((gx, gy), ()):
-                    if ((self._xy[i] - (x, y)) ** 2).sum() <= r2:
+                    if ((xy[i] - (x, y)) ** 2).sum() <= r2:
                         out.append(i)
         return out
 
@@ -110,20 +227,30 @@ class IncrementalCSD:
         venue; it only matters for future distribution updates).
         """
         x, y = self.base.projection.to_meters(poi.lon, poi.lat)
-        new_index = len(self._pois)
+        new_index = self._n
+        self._ensure_capacity(new_index + 1)
         self._pois.append(poi)
         self._tags.append(self._tag(poi))
-        self._xy = np.vstack([self._xy, [[x, y]]])
-        self._popularity = np.append(self._popularity, popularity)
+        self._xy_buf[new_index, 0] = x
+        self._xy_buf[new_index, 1] = y
+        self._pop_buf[new_index] = float(popularity)
+        self._n += 1
         self._n_added += 1
 
-        unit_id = self._find_compatible_unit(x, y, self._tags[new_index])
+        candidates = self._candidate_units(x, y)
+        unit_id = self._find_compatible_unit(candidates, self._tags[new_index])
         self._buckets[self._key(x, y)].append(new_index)
+        # Every unit within the merge radius saw its neighbourhood
+        # change — either it gained a member or its pending halo grew —
+        # so the whole candidate set enters the dirty scope for the
+        # next partial repair.
+        self._dirty.update(uid for _d2, uid in candidates)
         if unit_id == UNASSIGNED:
-            self._unit_of = np.append(self._unit_of, UNASSIGNED)
+            self._unit_buf[new_index] = UNASSIGNED
             self._n_pending += 1
+            self._pending.add(new_index)
         else:
-            self._unit_of = np.append(self._unit_of, unit_id)
+            self._unit_buf[new_index] = unit_id
             self._members[unit_id].append(new_index)
             weights = self._unit_weights.get(unit_id)
             if weights is not None:
@@ -138,6 +265,7 @@ class IncrementalCSD:
             reg.gauge("incremental.added").set(float(self._n_added))
             reg.gauge("incremental.pending").set(float(self._n_pending))
             reg.gauge("incremental.staleness").set(self.staleness())
+            reg.gauge("incremental.units.dirty").set(float(len(self._dirty)))
         return unit_id
 
     def add_pois(
@@ -146,23 +274,35 @@ class IncrementalCSD:
         """Batch :meth:`add_poi`; returns the assigned unit ids."""
         if popularities is not None and len(popularities) != len(pois):
             raise ValueError("popularities must align with pois")
-        out = []
+        self._ensure_capacity(self._n + len(pois))
+        out: List[int] = []
         for i, poi in enumerate(pois):
             pop = popularities[i] if popularities is not None else 0.0
             out.append(self.add_poi(poi, pop))
         return out
 
-    def _find_compatible_unit(self, x: float, y: float, tag: str) -> int:
-        """Nearest unit within radius whose distribution accepts the tag."""
-        candidates = {}
+    def _candidate_units(self, x: float, y: float) -> List[Tuple[float, int]]:
+        """``(d2, unit_id)`` of units within the merge radius, nearest
+        first; equal distances break deterministically on the smaller
+        unit id, so assignment is invariant under any permutation of
+        the coordinate (and bucket scan) order."""
+        best: Dict[int, float] = {}
+        unit_of = self._unit_of
+        xy = self._xy
         for j in self._neighbours(x, y):
-            unit_id = int(self._unit_of[j]) if j < len(self._unit_of) else UNASSIGNED
+            unit_id = int(unit_of[j])
             if unit_id == UNASSIGNED:
                 continue
-            d2 = ((self._xy[j] - (x, y)) ** 2).sum()
-            if unit_id not in candidates or d2 < candidates[unit_id]:
-                candidates[unit_id] = d2
-        for unit_id in sorted(candidates, key=lambda u: candidates[u]):
+            d2 = float(((xy[j] - (x, y)) ** 2).sum())
+            if unit_id not in best or d2 < best[unit_id]:
+                best[unit_id] = d2
+        return sorted((d2, uid) for uid, d2 in best.items())
+
+    def _find_compatible_unit(
+        self, candidates: Sequence[Tuple[float, int]], tag: str
+    ) -> int:
+        """Nearest candidate unit whose distribution accepts the tag."""
+        for _d2, unit_id in candidates:
             distribution = self._unit_distribution(unit_id)
             if cosine_similarity({tag: 1.0}, distribution) >= self.merge_cos:
                 return unit_id
@@ -183,10 +323,11 @@ class IncrementalCSD:
         weights = self._unit_weights.get(unit_id)
         if weights is None:
             weights = {}
+            popularity = self._popularity
             for i in self._members[unit_id]:
                 t = self._tags[i]
                 weights[t] = weights.get(t, 0.0) + (
-                    float(self._popularity[i]) + _WEIGHT_FLOOR
+                    float(popularity[i]) + _WEIGHT_FLOOR
                 )
             self._unit_weights[unit_id] = weights
             reg.counter("incremental.distribution.computations").inc(1)
@@ -194,6 +335,148 @@ class IncrementalCSD:
             reg.counter("incremental.distribution.cache_hits").inc(1)
         total = math.fsum(weights.values())
         return {t: w / total for t, w in weights.items()}
+
+    def restore_online_state(
+        self,
+        pending: Sequence[int],
+        dirty: Sequence[int],
+        n_added: int = 0,
+    ) -> None:
+        """Rehydrate online bookkeeping after a checkpoint restart.
+
+        A diagram saved mid-stream already contains every POI — the
+        pending ones simply carry ``UNASSIGNED`` — but which unassigned
+        POIs are *online-pending* (vs. offline leftovers) and which
+        units are dirty is state the diagram cannot express.  The
+        stream runner persists those in its manifest and restores them
+        here.
+        """
+        n_units = len(self._members)
+        unit_of = self._unit_of
+        for i in pending:
+            if not 0 <= i < self._n:
+                raise ValueError(f"pending index {i} is out of range")
+            if int(unit_of[i]) != UNASSIGNED:
+                raise ValueError(
+                    f"pending index {i} is assigned to unit "
+                    f"{int(unit_of[i])}; the manifest state is stale"
+                )
+        for u in dirty:
+            if not 0 <= u < n_units:
+                raise ValueError(f"dirty unit {u} is out of range")
+        self._pending = set(int(i) for i in pending)
+        self._n_pending = len(self._pending)
+        self._dirty = set(int(u) for u in dirty)
+        self._n_added = int(n_added)
+
+    # -- dirty-unit repair ------------------------------------------------
+
+    def dirty_units(self) -> List[int]:
+        """Units whose membership or pending halo changed since the
+        last :meth:`repair` (sorted)."""
+        return sorted(self._dirty)
+
+    def pending_indices(self) -> List[int]:
+        """Online-added POI indices still awaiting placement (sorted)."""
+        return sorted(self._pending)
+
+    def pending_in_halo(self, scope_units: Sequence[int]) -> List[int]:
+        """Pending POIs within ``merge_radius_m`` of any member of the
+        given units (sorted) — the merge candidates of a repair pass."""
+        scope = set(scope_units)
+        unit_of = self._unit_of
+        xy = self._xy
+        out: List[int] = []
+        for i in sorted(self._pending):
+            for j in self._neighbours(float(xy[i, 0]), float(xy[i, 1])):
+                uid = int(unit_of[j])
+                if uid != UNASSIGNED and uid in scope:
+                    out.append(i)
+                    break
+        return out
+
+    def repair(
+        self, v_min_m2: float = 300.0, r3sigma_m: float = 100.0
+    ) -> RepairReport:
+        """Partial re-purification + re-merge of the dirty scope.
+
+        Runs Algorithm 2 (:func:`~repro.core.purification.purify`) and
+        the cosine merge (:func:`~repro.core.merging.merge_units`) over
+        exactly the dirty units plus the pending POIs in their halo —
+        bit-identical to a full offline rebuild restricted to the same
+        unit set (the oracle test pins this).  Clean units keep their
+        membership, cached distributions, and relative order; unit ids
+        are renumbered densely (clean units first, repaired units
+        after), so :meth:`diagram` never materialises empty units.
+
+        No-op (empty report) when nothing is dirty.
+        """
+        reg = get_registry()
+        scope = sorted(self._dirty)
+        if not scope:
+            return RepairReport((), (), (), (), ())
+        with reg.timer("incremental.repair"):
+            scope_set = set(scope)
+            scope_members = [list(self._members[u]) for u in scope]
+            pend = self.pending_in_halo(scope)
+            pure = purify(
+                scope_members, self._xy, self._tags, v_min_m2, r3sigma_m
+            )
+            final = merge_units(
+                pure,
+                pend,
+                self._xy,
+                self._tags,
+                self._popularity,
+                self.merge_cos,
+                self.merge_radius_m,
+            )
+
+            # Renumber: clean units first (original order), repaired
+            # units after.  unit_of is rewritten vectorised through a
+            # lookup table; scope members fall to UNASSIGNED there and
+            # are reassigned from the new membership lists.
+            keep_ids = [
+                u for u in range(len(self._members)) if u not in scope_set
+            ]
+            lookup = np.full(len(self._members), UNASSIGNED, dtype=np.int64)
+            for new_id, old_id in enumerate(keep_ids):
+                lookup[old_id] = new_id
+            unit_of = self._unit_of
+            assigned = unit_of != UNASSIGNED
+            unit_of[assigned] = lookup[unit_of[assigned]]
+            new_members = [self._members[u] for u in keep_ids]
+            for offset, members in enumerate(final):
+                new_id = len(keep_ids) + offset
+                new_members.append(list(members))
+                for i in members:
+                    unit_of[i] = new_id
+            absorbed = tuple(
+                i for i in pend if int(unit_of[i]) != UNASSIGNED
+            )
+            self._members = new_members
+            self._unit_weights = {
+                int(lookup[old_id]): w
+                for old_id, w in self._unit_weights.items()
+                if int(lookup[old_id]) != UNASSIGNED
+            }
+            self._pending.difference_update(absorbed)
+            self._n_pending -= len(absorbed)
+            self._dirty.clear()
+        reg.counter("incremental.repairs").inc(1)
+        reg.counter("incremental.repair.units").inc(len(scope))
+        reg.counter("incremental.repair.absorbed").inc(len(absorbed))
+        if reg.enabled:
+            reg.gauge("incremental.pending").set(float(self._n_pending))
+            reg.gauge("incremental.staleness").set(self.staleness())
+            reg.gauge("incremental.units.dirty").set(0.0)
+        return RepairReport(
+            scope_units=tuple(scope),
+            scope_members=tuple(tuple(m) for m in scope_members),
+            scope_pending=tuple(pend),
+            new_units=tuple(tuple(m) for m in final),
+            absorbed=absorbed,
+        )
 
     # -- views --------------------------------------------------------------
 
@@ -208,7 +491,7 @@ class IncrementalCSD:
 
     def staleness(self) -> float:
         """Fraction of all POIs that the online step could not place."""
-        total = len(self._pois)
+        total = self._n
         return self._n_pending / total if total else 0.0
 
     def needs_rebuild(self, threshold: float = 0.05) -> bool:
@@ -216,11 +499,18 @@ class IncrementalCSD:
         return self.staleness() > threshold
 
     def diagram(self) -> CitySemanticDiagram:
-        """Materialise the updated diagram (units rebuilt from members)."""
+        """Materialise the updated diagram (units rebuilt from members).
+
+        The per-POI arrays are copied out of the capacity buffers, so
+        the returned diagram stays valid (and immutable) however the
+        updater grows afterwards.
+        """
         tags = self._tags
-        units = []
+        popularity = self._popularity.copy()
+        xy_all = self._xy.copy()
+        units: List[SemanticUnit] = []
         for unit_id, members in enumerate(self._members):
-            xy = self._xy[members]
+            xy = xy_all[members]
             units.append(
                 SemanticUnit(
                     unit_id=unit_id,
@@ -229,16 +519,16 @@ class IncrementalCSD:
                         float(xy[:, 0].mean()), float(xy[:, 1].mean())
                     ),
                     semantic_distribution=unit_distribution(
-                        members, tags, self._popularity
+                        members, tags, popularity
                     ),
                 )
             )
         return CitySemanticDiagram(
-            pois=self._pois,
+            pois=list(self._pois),
             projection=self.base.projection,
-            poi_xy=self._xy,
-            popularity=self._popularity,
+            poi_xy=xy_all,
+            popularity=popularity,
             units=units,
-            unit_of=self._unit_of,
+            unit_of=self._unit_of.copy(),
             tag_level=self.base.tag_level,
         )

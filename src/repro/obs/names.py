@@ -61,6 +61,10 @@ COUNTERS: FrozenSet[str] = frozenset(
         "geo.index.hits",
         "incremental.distribution.computations",
         "incremental.distribution.cache_hits",
+        "incremental.buffer.reallocations",
+        "incremental.repairs",
+        "incremental.repair.units",
+        "incremental.repair.absorbed",
         "ingest.rows",
         "ingest.quarantined",
         "pipeline.runner.chunks",
@@ -71,6 +75,8 @@ COUNTERS: FrozenSet[str] = frozenset(
         "prefixspan.patterns.emitted",
         "prefixspan.candidates.pruned",
         "prefixspan.nodes.expanded",
+        "prefixspan.patterns.merged",
+        "prefixspan.patterns.aged_out",
         "recognition.batches",
         "recognition.stays.recognized",
         "recognition.stays.unmatched",
@@ -82,6 +88,14 @@ COUNTERS: FrozenSet[str] = frozenset(
         "serve.cache.hits",
         "serve.cache.misses",
         "serve.reloads",
+        "serve.reloads.skipped",
+        "stream.epochs",
+        "stream.trips.ingested",
+        "stream.pois.ingested",
+        "stream.sequences.added",
+        "stream.sequences.retired",
+        "stream.repairs",
+        "stream.serve.notified",
     }
 )
 
@@ -91,10 +105,15 @@ GAUGES: FrozenSet[str] = frozenset(
         "incremental.added",
         "incremental.pending",
         "incremental.staleness",
+        "incremental.units.dirty",
         "pipeline.runner.resumed",
         "pipeline.runner.recognition.progress",
         "serve.queue.depth",
         "serve.cache.size",
+        "stream.window.sequences",
+        "stream.window.epochs",
+        "stream.patterns.live",
+        "stream.runner.resumed",
     }
 )
 
@@ -121,6 +140,11 @@ TIMERS: FrozenSet[str] = frozenset(
         "recognition.batch",
         "pipeline.runner.checkpoint",
         "serve.request",
+        "incremental.repair",
+        "stream.epoch",
+        "stream.recognize",
+        "stream.maintain",
+        "stream.commit",
     }
 )
 

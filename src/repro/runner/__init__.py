@@ -34,10 +34,26 @@ from repro.runner.runner import (
     RECOGNIZED_ARTIFACT,
     PipelineRunner,
 )
+from repro.runner.stream import (
+    STREAM_FAULT_POINTS,
+    STREAM_MANIFEST_NAME,
+    StreamManifest,
+    StreamRunner,
+    StreamRunReport,
+    parse_stream_manifest,
+    stream_config_hash,
+)
 
 __all__ = [
     "CSD_ARTIFACT",
     "FAULT_POINTS",
+    "STREAM_FAULT_POINTS",
+    "STREAM_MANIFEST_NAME",
+    "StreamManifest",
+    "StreamRunner",
+    "StreamRunReport",
+    "parse_stream_manifest",
+    "stream_config_hash",
     "FileSystem",
     "FlakyFileSystem",
     "MANIFEST_NAME",

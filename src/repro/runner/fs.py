@@ -68,6 +68,14 @@ class FileSystem:
     def mkdir(self, path: Path) -> None:
         path.mkdir(parents=True, exist_ok=True)
 
+    def remove(self, path: Path) -> None:
+        """Best-effort delete (retired artifacts); missing files are
+        fine — a crash may have interrupted an earlier cleanup."""
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+
     def fault(self, point: str) -> None:
         """Fault-injection hook; a no-op on the real filesystem.
 
@@ -136,6 +144,9 @@ class FlakyFileSystem(FileSystem):
 
     def mkdir(self, path: Path) -> None:
         self.inner.mkdir(path)
+
+    def remove(self, path: Path) -> None:
+        self.inner.remove(path)
 
     def fault(self, point: str) -> None:
         self.faults_hit.append(point)

@@ -226,7 +226,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, {"count": len(pois), "pois": pois})
                 return True
             if path == "/admin/reload":
-                self._send_json(200, service.reload())
+                if_changed = query.get("if_changed", ["0"])[0] not in (
+                    "0",
+                    "",
+                    "false",
+                )
+                self._send_json(200, service.reload(if_changed=if_changed))
                 return True
             return False
         return False

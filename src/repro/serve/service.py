@@ -25,6 +25,7 @@ rebuilt CSD can be rolled into a running daemon without a restart.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from dataclasses import dataclass
 from pathlib import Path
@@ -76,6 +77,11 @@ class RecognitionService:
         # never crosses a process boundary.
         self._reload_lock = threading.Lock()
         self.csd = csd if csd is not None else load_csd(self.csd_path)  # type: ignore[arg-type]
+        #: SHA-256 of the artifact bytes behind the loaded diagram;
+        #: lets ``reload(if_changed=True)`` skip no-op reloads.
+        self._loaded_sha: Optional[str] = (
+            self._artifact_sha256() if self.csd_path is not None else None
+        )
         self.recognizer = CSDRecognizer(
             self.csd,
             r3sigma_m=self.config.r3sigma_m,
@@ -195,18 +201,43 @@ class RecognitionService:
 
     # -- lifecycle / introspection -------------------------------------
 
-    def reload(self) -> Dict[str, object]:
+    def _artifact_sha256(self) -> str:
+        h = hashlib.sha256()
+        assert self.csd_path is not None
+        with open(self.csd_path, "rb") as f:
+            for block in iter(lambda: f.read(1 << 20), b""):
+                h.update(block)
+        return h.hexdigest()
+
+    def reload(self, if_changed: bool = False) -> Dict[str, object]:
         """Re-read the CSD artifact and swap it in; invalidates the cache.
 
         Only available when the service was constructed from a path.
         The swap is atomic with respect to new requests: they observe
         either the old (diagram, cache) pair or the new one.
+
+        ``if_changed=True`` makes the reload conditional on the
+        artifact's bytes: when its SHA-256 matches the last loaded
+        state the (expensive) parse + cache flush is skipped and the
+        response carries ``"reloaded": False``.  A streaming pipeline
+        can therefore notify the daemon after every epoch without
+        thrashing the cache on epochs that left the diagram untouched.
         """
         if self.csd_path is None:
             raise ValueError(
                 "service was constructed from an in-memory CSD; "
                 "reload requires a csd_path"
             )
+        sha = self._artifact_sha256()
+        if if_changed and sha == self._loaded_sha:
+            reg = get_registry()
+            if reg.enabled:
+                reg.counter("serve.reloads.skipped").inc()
+            return {
+                "reloaded": False,
+                "n_pois": self.csd.n_pois,
+                "n_units": self.csd.n_units,
+            }
         fresh = load_csd(self.csd_path)
         with self._reload_lock:
             self.csd = fresh
@@ -217,6 +248,7 @@ class RecognitionService:
                 query_dtype=self.config.query_dtype,
             )
             self.cache.clear(fresh)
+            self._loaded_sha = sha
             self.reloads += 1
         reg = get_registry()
         if reg.enabled:

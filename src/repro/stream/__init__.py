@@ -1,0 +1,20 @@
+"""repro.stream — the online mining pipeline.
+
+Wires streaming validated ingest (``repro.data.io.iter_trips`` +
+quarantine) into incremental recognition of only-new records,
+staleness-triggered partial diagram repair, and exact windowed pattern
+maintenance.  :class:`StreamEngine` is the in-memory core;
+:class:`repro.runner.StreamRunner` adds per-epoch durable commits and
+crash/resume.  See ``docs/STREAMING.md``.
+
+>>> from repro.stream import StreamEngine                  # doctest: +SKIP
+>>> engine = StreamEngine(base_csd, window_epochs=4)       # doctest: +SKIP
+>>> result = engine.process_epoch(trips, new_pois)         # doctest: +SKIP
+"""
+
+from repro.stream.engine import EpochResult, StreamEngine
+
+__all__ = [
+    "EpochResult",
+    "StreamEngine",
+]

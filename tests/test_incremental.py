@@ -166,3 +166,136 @@ class TestStalenessAndViews:
         recognizer = CSDRecognizer(updater.diagram(), 100.0)
         tags = recognizer.recognize_point(StayPoint(121.47002, 31.23, 0.0))
         assert tags == {"Restaurant"}
+
+
+class TestBufferGrowth:
+    def test_ten_thousand_inserts_realloc_logarithmically(self, base_csd):
+        """Regression for the seed's O(n^2) np.vstack/np.append growth:
+        10k one-at-a-time inserts may double the buffers O(log n)
+        times, never once per insert."""
+        import math
+
+        reg = obs.MetricsRegistry(enabled=True)
+        old = obs.set_registry(reg)
+        try:
+            updater = IncrementalCSD(base_csd)
+            start = updater._capacity
+            for i in range(10_000):
+                # Spread far apart: empty neighbourhoods keep the
+                # candidate search out of the measurement's way.
+                updater.add_poi(
+                    POI(1000 + i, 121.6 + (i % 100) * 0.002,
+                        31.4 + (i // 100) * 0.002, "Industry", "Factory")
+                )
+            counters = reg.snapshot()["counters"]
+        finally:
+            obs.set_registry(old)
+        bound = math.ceil(math.log2((base_csd.n_pois + 10_000) / start)) + 1
+        assert updater.n_reallocations <= bound
+        assert counters["incremental.buffer.reallocations"] == (
+            updater.n_reallocations
+        )
+
+    def test_batch_insert_reserves_once(self, base_csd):
+        updater = IncrementalCSD(base_csd)
+        pois = [
+            POI(1000 + i, 121.6 + i * 0.002, 31.4, "Industry", "Factory")
+            for i in range(500)
+        ]
+        updater.add_pois(pois)
+        assert updater.n_reallocations == 1
+
+    def test_views_track_buffer_growth(self, base_csd):
+        updater = IncrementalCSD(base_csd)
+        n0 = base_csd.n_pois
+        for i in range(50):
+            updater.add_poi(POI(1000 + i, 121.6 + i * 0.002, 31.4,
+                                "Industry", "Factory"))
+        xy, popularity, unit_of = updater.array_state()
+        assert xy.shape == (n0 + 50, 2)
+        assert popularity.shape == (n0 + 50,)
+        assert unit_of.shape == (n0 + 50,)
+
+
+class TestDeterministicAssignment:
+    def test_equidistant_candidates_break_tie_on_unit_id(self):
+        """A point exactly midway between two units must list both at
+        bit-identical d2 with the smaller unit id first."""
+        mid, delta = 121.4730, 0.00390625  # 2^-8: offsets stay exact
+        a = [POI(i, mid - delta - i * 1e-5, 31.23, "Restaurant", "Cafe")
+             for i in range(6)]
+        b = [POI(6 + i, mid + delta + i * 1e-5, 31.23, "Sports", "Gym")
+             for i in range(6)]
+        stays = [StayPoint(mid - delta, 31.23, float(i)) for i in range(8)]
+        stays += [StayPoint(mid + delta, 31.23, float(i)) for i in range(8)]
+        csd = build_csd(a + b, stays, CSDConfig(min_pts=3))
+        updater = IncrementalCSD(csd, merge_radius_m=500.0)
+        x, y = csd.projection.to_meters(mid, 31.23)
+        candidates = updater._candidate_units(x, y)
+        assert len(candidates) == 2
+        (d2_a, uid_a), (d2_b, uid_b) = candidates
+        assert d2_a == d2_b  # exact tie by construction
+        assert uid_a < uid_b
+
+    def test_assignment_invariant_under_insertion_order(self, base_csd):
+        """Well-separated inserts (no chaining possible) must land in
+        the same units whatever order the batch arrives in."""
+        import random
+
+        pois = (
+            [POI(200 + i, 121.47001 + i * 1e-5, 31.23,
+                 "Restaurant", "Cafe") for i in range(4)]
+            + [POI(300 + i, 121.47601 + i * 1e-5, 31.23,
+                   "Sports", "Gym") for i in range(4)]
+        )
+        rng = random.Random(7)
+        assignments = []
+        for _ in range(4):
+            order = list(pois)
+            rng.shuffle(order)
+            updater = IncrementalCSD(base_csd)
+            by_poi = {p.poi_id: updater.add_poi(p) for p in order}
+            assignments.append(by_poi)
+        assert all(a == assignments[0] for a in assignments[1:])
+        assert all(uid != UNASSIGNED for uid in assignments[0].values())
+
+
+class TestArrayStateAndRestore:
+    def test_array_state_dtypes_stay_pinned(self, base_csd):
+        import numpy as np
+
+        updater = IncrementalCSD(base_csd)
+        updater.add_pois(
+            [POI(1000 + i, 121.6 + i * 0.002, 31.4, "Industry", "Factory")
+             for i in range(20)]
+        )
+        xy, popularity, unit_of = updater.array_state()
+        assert xy.dtype == np.float64
+        assert popularity.dtype == np.float64
+        assert unit_of.dtype == np.int64
+
+    def test_restore_roundtrip(self, base_csd):
+        """Pending/dirty bookkeeping survives a save/rehydrate cycle."""
+        updater = IncrementalCSD(base_csd)
+        updater.add_pois(
+            [POI(1000 + i, 121.6 + i * 0.002, 31.4, "Industry", "Factory")
+             for i in range(5)]
+            + [POI(2000, 121.47002, 31.23, "Restaurant", "Bakery")]
+        )
+        pending = updater.pending_indices()
+        dirty = updater.dirty_units()
+        assert pending and dirty
+        fresh = IncrementalCSD(updater.diagram())
+        fresh.restore_online_state(pending, dirty, n_added=updater.n_added)
+        assert fresh.pending_indices() == pending
+        assert fresh.dirty_units() == dirty
+        assert fresh.staleness() == pytest.approx(updater.staleness())
+
+    def test_restore_rejects_stale_state(self, base_csd):
+        updater = IncrementalCSD(base_csd)
+        with pytest.raises(ValueError, match="out of range"):
+            updater.restore_online_state([base_csd.n_pois + 5], [])
+        with pytest.raises(ValueError, match="stale"):
+            updater.restore_online_state([0], [])  # index 0 is assigned
+        with pytest.raises(ValueError, match="out of range"):
+            updater.restore_online_state([], [999])

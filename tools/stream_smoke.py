@@ -1,0 +1,154 @@
+"""CI smoke test: the `repro stream` CLI end to end, with resume.
+
+Simulates a small corpus, withholds 10% of the POIs for online
+discovery, injects malformed trip rows, then
+
+1. streams the whole input in one uninterrupted invocation (the
+   reference),
+2. streams the same input in two legs (``--max-epochs`` then
+   ``--resume``) in a fresh run directory,
+3. asserts the two runs committed bit-identical manifests (same
+   diagram SHA-256, same live-window epoch digests, same cursors),
+4. asserts every malformed row was quarantined exactly once across
+   both legs — the resume skip must not re-report rows a committed
+   epoch already consumed.
+
+Exit code 0 means the streaming CLI, resume, and quarantine contracts
+hold.  The quarantine file is left at ``<workdir>/run-legs/
+quarantine.csv`` for CI to upload as a build artifact.
+
+Usage::
+
+    PYTHONPATH=src python tools/stream_smoke.py --out /tmp/stream_smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.cli import main as cli_main
+from repro.data.io import read_pois, write_pois
+from repro.runner import parse_stream_manifest
+from repro.runner.stream import STREAM_MANIFEST_NAME
+
+BAD_ROWS = [
+    "90001,,bogus,31.0,10.0,121.0,31.0,20.0,Residence,Residence",
+    "90002,,121.0,31.0,500.0,121.0,31.0,100.0,Residence,Residence",
+    "90003,,121.0,31.0,10.0,121.0,31.0,20.0,Residence",
+]
+
+
+def quarantined_rows(path: Path) -> List[List[str]]:
+    if not path.exists():
+        return []
+    with open(path, newline="", encoding="utf-8") as handle:
+        return list(csv.reader(handle))[1:]  # drop the header
+
+
+def stream_args(data: Path, run_dir: Path) -> List[str]:
+    return [
+        "stream",
+        "--trips", str(data / "trips.csv"),
+        "--csd", str(data / "base_csd.json"),
+        "--pois", str(data / "new_pois.csv"),
+        "--run-dir", str(run_dir),
+        "--epoch-trips", "300",
+        "--poi-batch", "40",
+        "--window-epochs", "3",
+        "--staleness-threshold", "0.01",
+        "--support", "8",
+    ]
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True, help="scratch directory")
+    args = parser.parse_args(argv)
+    work = Path(args.out)
+    work.mkdir(parents=True, exist_ok=True)
+
+    data = work / "data"
+    rc = cli_main([
+        "simulate", "--out", str(data), "--extent-m", "3000",
+        "--pois", "1500", "--passengers", "40", "--days", "3",
+        "--seed", "3",
+    ])
+    if rc != 0:
+        print("FAIL: simulate returned", rc)
+        return 1
+
+    # 90% of the POIs seed the offline diagram; the rest arrive online.
+    pois = read_pois(data / "pois.csv")
+    n_base = int(len(pois) * 0.9)
+    write_pois(data / "base_pois.csv", pois[:n_base])
+    write_pois(data / "new_pois.csv", pois[n_base:])
+    rc = cli_main([
+        "build-csd", "--pois", str(data / "base_pois.csv"),
+        "--trips", str(data / "trips.csv"),
+        "--save", str(data / "base_csd.json"),
+    ])
+    if rc != 0:
+        print("FAIL: build-csd returned", rc)
+        return 1
+
+    trips_path = data / "trips.csv"
+    dirty = trips_path.read_text(encoding="utf-8").rstrip("\n").splitlines()
+    dirty[3:3] = BAD_ROWS[:1]  # inside the first epoch
+    dirty.extend(BAD_ROWS[1:])  # near the end of the stream
+    trips_path.write_text("\n".join(dirty) + "\n", encoding="utf-8")
+
+    run_ref = work / "run-reference"
+    if cli_main(stream_args(data, run_ref)) != 0:
+        print("FAIL: reference stream run failed")
+        return 1
+
+    run_legs = work / "run-legs"
+    if cli_main(stream_args(data, run_legs) + ["--max-epochs", "2"]) != 0:
+        print("FAIL: first stream leg failed")
+        return 1
+    if cli_main(stream_args(data, run_legs) + ["--resume"]) != 0:
+        print("FAIL: resume stream leg failed")
+        return 1
+
+    reference = parse_stream_manifest(
+        (run_ref / STREAM_MANIFEST_NAME).read_text(encoding="utf-8")
+    )
+    resumed = parse_stream_manifest(
+        (run_legs / STREAM_MANIFEST_NAME).read_text(encoding="utf-8")
+    )
+    checks = [
+        ("csd_sha256", reference.csd_sha256, resumed.csd_sha256),
+        ("trips_consumed", reference.trips_consumed, resumed.trips_consumed),
+        ("pois_consumed", reference.pois_consumed, resumed.pois_consumed),
+        ("epoch digests",
+         [r.sha256 for r in reference.epochs],
+         [r.sha256 for r in resumed.epochs]),
+    ]
+    for name, want, got in checks:
+        if want != got:
+            print(f"FAIL: resumed {name} differs: {want!r} != {got!r}")
+            return 1
+
+    for run_dir in (run_ref, run_legs):
+        rows = quarantined_rows(run_dir / "quarantine.csv")
+        ids = sorted(row[3].split(",", 1)[0] for row in rows)
+        want = sorted(bad.split(",", 1)[0] for bad in BAD_ROWS)
+        if ids != want:
+            print(f"FAIL: {run_dir.name} quarantined {len(rows)} rows "
+                  f"(want each bad row exactly once): {ids!r}")
+            return 1
+
+    print(
+        f"OK: {reference.epoch_index} epochs bit-identical across the "
+        f"two-leg resume; {len(BAD_ROWS)} rows quarantined exactly once "
+        f"({run_legs / 'quarantine.csv'})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
