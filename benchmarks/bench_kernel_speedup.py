@@ -24,7 +24,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import time
 from pathlib import Path
 
@@ -35,6 +34,7 @@ from repro.core.popularity import compute_popularity
 from repro.core.recognition import CSDRecognizer
 from repro.data.trajectory import NO_SEMANTICS
 from repro.eval.experiments import make_workload
+from repro.eval.reporting import write_report_json
 from repro.geo.distance import gaussian_coefficients
 from repro.geo.index import GridIndex
 
@@ -236,12 +236,10 @@ def main(argv=None):
         },
         "metrics": metrics,
     }
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_report_json(args.out, report)
     print(f"wrote {args.out}")
     if args.metrics_json is not None:
-        args.metrics_json.write_text(
-            json.dumps(metrics, indent=2, sort_keys=True) + "\n"
-        )
+        write_report_json(args.metrics_json, metrics)
         print(f"wrote metrics snapshot {args.metrics_json}")
     if not (pop_ok and rec_equal and rec_obs == rec_batch):
         raise SystemExit("batched results diverged from the loop reference")

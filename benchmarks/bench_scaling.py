@@ -29,7 +29,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import os
 import time
@@ -43,7 +42,7 @@ from repro.core.recognition import CSDRecognizer, chunk_bounds
 from repro.data.city import CityModel
 from repro.data.poi import POIGenerator
 from repro.data.trajectory import StayPoint
-from repro.eval.reporting import format_table
+from repro.eval.reporting import format_table, write_report_json
 from repro.parallel import recognize_parallel, shutdown_pools
 
 #: Base workload: 12k POIs in a 6 km downtown slice (DESIGN.md §3).
@@ -172,7 +171,7 @@ def main(argv=None):
         "n_cpus": n_cpus,
         "sizes": results,
     }
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_report_json(args.out, report)
     print(f"wrote {args.out}")
 
     rows = [

@@ -29,7 +29,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import threading
 import time
 from pathlib import Path
@@ -38,6 +37,7 @@ import numpy as np
 
 from repro.core.recognition import CSDRecognizer
 from repro.eval.experiments import make_workload
+from repro.eval.reporting import write_report_json
 from repro.serve import RecognitionService, ServeConfig, ServerOverloaded
 
 
@@ -315,7 +315,7 @@ def main(argv=None):
             "rejected": n_rejected,
         },
     }
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_report_json(args.out, report)
     print(f"wrote {args.out}")
 
     if not bit_identical or not cache_identical:

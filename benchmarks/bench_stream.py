@@ -44,10 +44,8 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import time
 import tracemalloc
-from pathlib import Path
 
 from repro.core.config import CSDConfig, MiningConfig
 from repro.core.constructor import build_csd
@@ -56,6 +54,7 @@ from repro.core.recognition import CSDRecognizer
 from repro.data.taxi import trips_to_mining_trajectories
 from repro.data.trajectory import as_tag_sequence
 from repro.eval.experiments import make_workload
+from repro.eval.reporting import write_report_json
 from repro.mining.prefixspan import prefixspan
 from repro.stream import StreamEngine
 
@@ -313,7 +312,7 @@ def main():
             "peak_bytes": peak,
         },
     }
-    Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+    write_report_json(args.out, document)
     print(f"wrote {args.out}")
 
     if not args.fast and steady_speedup < 3.0:

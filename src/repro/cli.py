@@ -28,12 +28,13 @@ from __future__ import annotations
 
 import argparse
 import csv
+import io
 import sys
 import urllib.request
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro import obs
+from repro import ioutil, obs
 from repro.baselines.registry import APPROACHES, approach_by_name, run_approach
 from repro.core.config import CSDConfig, MiningConfig
 from repro.core.constructor import build_csd
@@ -164,18 +165,19 @@ def cmd_mine(args: argparse.Namespace) -> int:
         save_svg(args.svg, render_patterns_svg(patterns, projection))
         print(f"wrote pattern map -> {args.svg}")
     if args.csv:
-        with open(args.csv, "w", newline="", encoding="utf-8") as f:
-            writer = csv.writer(f)
-            writer.writerow(
-                ["route", "support", "length", "bucket",
-                 "start_lon", "start_lat", "end_lon", "end_lat", "span_m"]
-            )
-            for r in rows:
-                writer.writerow([
-                    r.route, r.support, r.length, r.bucket,
-                    r.start_lonlat[0], r.start_lonlat[1],
-                    r.end_lonlat[0], r.end_lonlat[1], r.span_m,
-                ])
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            ["route", "support", "length", "bucket",
+             "start_lon", "start_lat", "end_lon", "end_lat", "span_m"]
+        )
+        for r in rows:
+            writer.writerow([
+                r.route, r.support, r.length, r.bucket,
+                r.start_lonlat[0], r.start_lonlat[1],
+                r.end_lonlat[0], r.end_lonlat[1], r.span_m,
+            ])
+        ioutil.atomic_write_text(args.csv, buffer.getvalue())
         print(f"wrote summary -> {args.csv}")
     return 0
 
@@ -538,8 +540,11 @@ def _metrics_begin() -> None:
 
 
 def _metrics_write(path: str) -> None:
-    """Snapshot the registry to ``path``.  Pure read: no reset."""
-    Path(path).write_text(obs.to_json() + "\n")
+    """Snapshot the registry to ``path``.  Pure read: no reset.
+
+    Atomic so a dashboard tailing the snapshot never reads a torn file.
+    """
+    ioutil.atomic_write_text(path, obs.to_json() + "\n")
     print(f"wrote metrics snapshot -> {path}")
 
 

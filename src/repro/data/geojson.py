@@ -8,15 +8,15 @@ geojson.io).  Only the stdlib ``json`` module is used.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
-from typing import List, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
 from repro.core.csd import CitySemanticDiagram
 from repro.core.extraction import FineGrainedPattern
 from repro.core.patterns import pattern_time_bucket, route_label
+from repro.ioutil import strict_json_dump, strict_json_load
 from repro.types import Float64Array, LonLatArray
 
 PathLike = Union[str, Path]
@@ -115,17 +115,25 @@ def patterns_to_geojson(
 
 
 def write_geojson(path: PathLike, collection: dict) -> None:
-    """Write a FeatureCollection with stable key order."""
+    """Write a FeatureCollection with stable key order, atomically.
+
+    Strict JSON (``allow_nan=False``): a non-finite coordinate raises
+    instead of emitting tokens map viewers reject.
+    """
     if collection.get("type") != "FeatureCollection":
         raise ValueError("expected a GeoJSON FeatureCollection")
-    with open(path, "w") as f:
-        json.dump(collection, f, indent=2, sort_keys=True)
+    strict_json_dump(path, collection, indent=2)
 
 
 def read_geojson(path: PathLike) -> dict:
-    """Read back a FeatureCollection written by :func:`write_geojson`."""
-    with open(path) as f:
-        collection = json.load(f)
-    if collection.get("type") != "FeatureCollection":
+    """Read back a FeatureCollection written by :func:`write_geojson`.
+
+    Raises :class:`repro.ioutil.TornArtifactError` naming the file on
+    truncated or invalid JSON.
+    """
+    collection = strict_json_load(path)
+    if not isinstance(collection, dict) or (
+        collection.get("type") != "FeatureCollection"
+    ):
         raise ValueError(f"{path} is not a GeoJSON FeatureCollection")
     return collection

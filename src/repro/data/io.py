@@ -28,10 +28,12 @@ Two reader families exist:
 from __future__ import annotations
 
 import csv
+import io
 import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
+    Any,
     Callable,
     Dict,
     Iterable,
@@ -46,6 +48,7 @@ from typing import (
 from repro.data.poi import POI
 from repro.data.taxi import TaxiTrip
 from repro.data.trajectory import SemanticProperty, SemanticTrajectory, StayPoint
+from repro.ioutil import atomic_write_text
 from repro.obs import get_registry
 
 PathLike = Union[str, Path]
@@ -164,18 +167,36 @@ def _dispatch_bad_row(
     on_bad_row(bad)
 
 
+def _atomic_csv(path: PathLike, emit: "Callable[[Any], None]") -> None:
+    """Build a CSV payload in memory and write it atomically.
+
+    ``csv.writer`` over ``StringIO`` emits the same ``\\r\\n``
+    terminators as the old ``open(path, "w", newline="")`` spelling, so
+    artifact bytes (hence checkpoint SHA-256 digests) are unchanged;
+    :func:`repro.ioutil.atomic_write_text` writes them without newline
+    translation.  Artifacts here are modest (bounded corpora or epoch
+    slices), so buffering whole files trades negligible memory for
+    crash atomicity.
+    """
+    buffer = io.StringIO()
+    emit(csv.writer(buffer))
+    atomic_write_text(path, buffer.getvalue())
+
+
 # -- POIs -------------------------------------------------------------------
 
 POI_FIELDS = ["poi_id", "lon", "lat", "major", "minor", "name"]
 
 
 def write_pois(path: PathLike, pois: Sequence[POI]) -> None:
-    """Write POIs to CSV with a header row."""
-    with open(path, "w", newline="", encoding="utf-8") as f:
-        writer = csv.writer(f)
+    """Write POIs to CSV with a header row, atomically."""
+
+    def emit(writer: Any) -> None:
         writer.writerow(POI_FIELDS)
         for p in pois:
             writer.writerow([p.poi_id, p.lon, p.lat, p.major, p.minor, p.name])
+
+    _atomic_csv(path, emit)
 
 
 def read_pois(path: PathLike) -> List[POI]:
@@ -208,9 +229,10 @@ TRIP_FIELDS = [
 
 
 def write_trips(path: PathLike, trips: Iterable[TaxiTrip]) -> None:
-    """Write taxi trips to CSV; anonymous passengers serialise as ''."""
-    with open(path, "w", newline="", encoding="utf-8") as f:
-        writer = csv.writer(f)
+    """Write taxi trips to CSV, atomically; anonymous passengers
+    serialise as ''."""
+
+    def emit(writer: Any) -> None:
         writer.writerow(TRIP_FIELDS)
         for tr in trips:
             writer.writerow([
@@ -220,6 +242,8 @@ def write_trips(path: PathLike, trips: Iterable[TaxiTrip]) -> None:
                 tr.dropoff.lon, tr.dropoff.lat, tr.dropoff.t,
                 tr.pickup_truth, tr.dropoff_truth,
             ])
+
+    _atomic_csv(path, emit)
 
 
 def _parse_trip(row: Dict[str, Optional[str]]) -> TaxiTrip:
@@ -310,10 +334,11 @@ def write_semantic_trajectories(
 
     A trajectory with zero stay points emits a single marker row with
     an empty ``order`` column, so the trajectory count is preserved
-    across the round-trip.
+    across the round-trip.  The write is atomic: checkpoint readers
+    (runner resume, stream epoch restore) never see a torn file.
     """
-    with open(path, "w", newline="", encoding="utf-8") as f:
-        writer = csv.writer(f)
+
+    def emit(writer: Any) -> None:
         writer.writerow(TRAJ_FIELDS)
         for st in trajectories:
             if not st.stay_points:
@@ -326,6 +351,8 @@ def write_semantic_trajectories(
                     [st.traj_id, k, sp.lon, sp.lat, sp.t,
                      _tags_to_str(sp.semantics)]
                 )
+
+    _atomic_csv(path, emit)
 
 
 def _parse_traj_row(

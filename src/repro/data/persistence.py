@@ -11,14 +11,13 @@ itself exactly.
 
 from __future__ import annotations
 
-import json
-import os
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
 from repro.contracts import ArraySpec, array_contract
+from repro.ioutil import strict_json_dump, strict_json_load
 from repro.core.csd import CitySemanticDiagram, SemanticUnit
 from repro.data.poi import POI
 from repro.geo.projection import LocalProjection
@@ -39,14 +38,14 @@ def save_csd(path: PathLike, csd: CitySemanticDiagram) -> None:
     ``allow_nan=True``), which other parsers reject.  Raises
     ``ValueError`` naming the first offending POI index.
 
-    The document is serialised in memory, written to a ``*.tmp``
-    sibling, and :func:`os.replace`-d into place.  A crash at any point
-    therefore leaves either the previous artifact or the new one —
-    never a truncated ``csd.json``.  That matters beyond the runner
-    (whose :class:`~repro.runner.fs.FileSystem` wraps checkpoints in
-    its own tmp+replace): ``repro serve`` loads whatever path it is
-    handed, including artifacts written by a bare ``save_csd`` call
-    from ``repro build-csd --save``.
+    The document is written via :func:`repro.ioutil.strict_json_dump`
+    (serialise in memory → ``*.tmp`` sibling → :func:`os.replace`), so
+    a crash at any point leaves either the previous artifact or the new
+    one — never a truncated ``csd.json``.  That matters beyond the
+    runner (whose :class:`~repro.runner.fs.FileSystem` wraps
+    checkpoints in its own tmp+replace): ``repro serve`` loads whatever
+    path it is handed, including artifacts written by a bare
+    ``save_csd`` call from ``repro build-csd --save``.
     """
     popularity = np.asarray(csd.popularity, dtype=float)
     bad = np.flatnonzero(~np.isfinite(popularity))
@@ -80,20 +79,11 @@ def save_csd(path: PathLike, csd: CitySemanticDiagram) -> None:
             for u in csd.units
         ],
     }
-    # allow_nan=False backstops the popularity check above for any
-    # other float field (centroids, distributions): strict JSON or no
-    # file at all.  Serialising before opening any file means a
-    # serialisation error cannot leave even a tmp file behind.
-    payload = json.dumps(document, allow_nan=False)
-    target = Path(path)
-    tmp = target.with_name(target.name + ".tmp")
-    try:
-        with open(tmp, "w", encoding="utf-8") as f:
-            f.write(payload)
-        os.replace(tmp, target)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
+    # strict_json_dump's allow_nan=False backstops the popularity check
+    # above for any other float field (centroids, distributions):
+    # strict JSON or no file at all.  sort_keys=False preserves the
+    # documented field order of existing artifacts.
+    strict_json_dump(path, document, sort_keys=False)
 
 
 @array_contract(
@@ -105,11 +95,11 @@ def save_csd(path: PathLike, csd: CitySemanticDiagram) -> None:
 def load_csd(path: PathLike) -> CitySemanticDiagram:
     """Reconstruct a diagram saved by :func:`save_csd`.
 
-    Raises ``ValueError`` on unknown format versions or structurally
-    inconsistent documents.
+    Raises :class:`repro.ioutil.TornArtifactError` (naming the file) if
+    the artifact is truncated or invalid JSON, and ``ValueError`` on
+    unknown format versions or structurally inconsistent documents.
     """
-    with open(path, encoding="utf-8") as f:
-        document = json.load(f)
+    document = strict_json_load(path)
     version = document.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(

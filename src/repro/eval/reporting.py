@@ -7,9 +7,12 @@ diffable without a plotting dependency.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.ioutil import strict_json_dump
 
 
 def format_table(
@@ -81,3 +84,15 @@ def series_table(
     for i, x in enumerate(x_values):
         rows.append(tuple([x] + [series[name][i] for name in series]))
     return format_table(headers, rows, precision)
+
+
+def write_report_json(path: "Union[str, Path]", document: Any) -> None:
+    """Persist a machine-readable report (``BENCH_*.json``, eval dumps).
+
+    Atomic and strict (:func:`repro.ioutil.strict_json_dump` with
+    ``indent=2`` and a trailing newline): an interrupted bench can never
+    leave a truncated JSON that later tooling chokes on, and a NaN in a
+    measured value fails the write loudly instead of emitting the
+    non-standard ``NaN`` token.
+    """
+    strict_json_dump(path, document, indent=2, trailing_newline=True)

@@ -4,8 +4,10 @@ The runner never touches the filesystem directly: every checkpoint
 mutation flows through a :class:`FileSystem` so that
 
 - **atomicity** is uniform — artifacts are written to a ``*.tmp``
-  sibling and :func:`os.replace`-d into place, so a crash mid-write can
-  never leave a half-written checkpoint that a resume would trust;
+  sibling and :func:`os.replace`-d into place (via
+  :func:`repro.ioutil.atomic_write`, the repo-wide implementation), so
+  a crash mid-write can never leave a half-written checkpoint that a
+  resume would trust;
 - **transient failures** (NFS hiccups, antivirus locks) are retried
   with exponential backoff in exactly one place
   (:func:`retry_with_backoff`);
@@ -19,11 +21,11 @@ mutation flows through a :class:`FileSystem` so that
 
 from __future__ import annotations
 
-import os
 import time
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Set, TypeVar
 
+from repro import ioutil
 from repro.obs import get_registry
 
 T = TypeVar("T")
@@ -47,17 +49,15 @@ class FileSystem:
 
         ``writer`` receives a temporary sibling path; only after it
         returns is the file renamed into place, so readers never see a
-        partial artifact.
+        partial artifact.  Delegates to :func:`repro.ioutil.atomic_write`,
+        which also unlinks the tmp sibling on any failure and announces
+        the per-write fault points (``tools/crash_sweep.py``).
         """
-        tmp = path.with_name(path.name + ".tmp")
-        writer(tmp)
-        os.replace(tmp, path)
+        ioutil.atomic_write(path, writer)
 
     def write_text(self, path: Path, text: str) -> None:
         """Atomic UTF-8 text write (used for the manifest)."""
-        self.write_artifact(
-            path, lambda tmp: tmp.write_text(text, encoding="utf-8")
-        )
+        ioutil.atomic_write_text(path, text)
 
     def read_text(self, path: Path) -> str:
         return path.read_text(encoding="utf-8")

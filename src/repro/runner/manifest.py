@@ -21,12 +21,25 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
-from pathlib import Path
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence
 
 from repro.core.config import CSDConfig, MiningConfig
 from repro.data.poi import POI
 from repro.data.trajectory import SemanticTrajectory
+from repro.ioutil import file_sha256, strict_json_loads
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "STAGES",
+    "STATUS_PENDING",
+    "STATUS_COMPLETE",
+    "StageRecord",
+    "Manifest",
+    "parse_manifest",
+    "config_hash",
+    "input_digest",
+    "file_sha256",  # re-exported from repro.ioutil for back-compat
+]
 
 #: Format marker so later revisions can migrate old run directories.
 MANIFEST_VERSION = 1
@@ -100,10 +113,15 @@ class Manifest:
         )
 
 
-def parse_manifest(text: str) -> Manifest:
-    """Parse :meth:`Manifest.to_json` output; raises ``ValueError`` on
-    unknown versions or structurally broken documents."""
-    document = json.loads(text)
+def parse_manifest(text: str, *, source: str = "manifest.json") -> Manifest:
+    """Parse :meth:`Manifest.to_json` output.
+
+    Raises :class:`repro.ioutil.TornArtifactError` naming ``source`` on
+    truncated/invalid JSON (a torn manifest must say *which* file to
+    recover, not just that parsing failed) and ``ValueError`` on
+    unknown versions or structurally broken documents.
+    """
+    document = strict_json_loads(text, name=source)
     version = document.get("format_version")
     if version != MANIFEST_VERSION:
         raise ValueError(
@@ -185,13 +203,4 @@ def input_digest(
             h.update(
                 f"{sp.lon!r},{sp.lat!r},{sp.t!r},{tags}\n".encode("utf-8")
             )
-    return h.hexdigest()
-
-
-def file_sha256(path: Union[str, Path]) -> str:
-    """SHA-256 of a file's bytes (checkpoint artifact integrity)."""
-    h = hashlib.sha256()
-    with open(path, "rb") as f:
-        for block in iter(lambda: f.read(1 << 20), b""):
-            h.update(block)
     return h.hexdigest()

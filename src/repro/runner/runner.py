@@ -172,7 +172,7 @@ class PipelineRunner:
             return None
         if not self.resume:
             return None
-        manifest = parse_manifest(self.fs.read_text(path))
+        manifest = parse_manifest(self.fs.read_text(path), source=str(path))
         if not manifest.matches(cfg_hash, in_digest):
             raise ValueError(
                 f"run directory {self.run_dir} holds checkpoints for a "

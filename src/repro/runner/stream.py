@@ -61,10 +61,10 @@ from repro.data.io import (
 from repro.data.persistence import load_csd, save_csd
 from repro.data.poi import POI
 from repro.data.taxi import TaxiTrip
+from repro.ioutil import file_sha256, strict_json_loads
 from repro.mining.prefixspan import FrequentSequence
 from repro.obs import get_registry
 from repro.runner.fs import FileSystem, retry_with_backoff
-from repro.runner.manifest import file_sha256
 from repro.stream.engine import EpochResult, StreamEngine
 
 PathLike = Union[str, Path]
@@ -123,8 +123,15 @@ class StreamManifest:
         )
 
 
-def parse_stream_manifest(text: str) -> StreamManifest:
-    document = json.loads(text)
+def parse_stream_manifest(
+    text: str, *, source: str = STREAM_MANIFEST_NAME
+) -> StreamManifest:
+    """Parse :meth:`StreamManifest.to_json` output.
+
+    Raises :class:`repro.ioutil.TornArtifactError` naming ``source`` on
+    truncated/invalid JSON and ``ValueError`` on unknown versions.
+    """
+    document = strict_json_loads(text, name=source)
     version = document.get("format_version")
     if version != STREAM_MANIFEST_VERSION:
         raise ValueError(
@@ -334,8 +341,9 @@ class StreamRunner:
         return manifest
 
     def _resumed_state(self, cfg_hash: str) -> StreamManifest:
+        manifest_path = self.run_dir / STREAM_MANIFEST_NAME
         manifest = parse_stream_manifest(
-            self.fs.read_text(self.run_dir / STREAM_MANIFEST_NAME)
+            self.fs.read_text(manifest_path), source=str(manifest_path)
         )
         if manifest.config_hash != cfg_hash:
             raise ValueError(

@@ -25,7 +25,6 @@ rebuilt CSD can be rolled into a running daemon without a restart.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from dataclasses import dataclass
 from pathlib import Path
@@ -34,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.csd import CitySemanticDiagram
 from repro.core.recognition import CSDRecognizer
 from repro.data.persistence import load_csd
+from repro.ioutil import file_sha256
 from repro.data.trajectory import SemanticProperty, StayPoint
 from repro.obs import get_registry
 from repro.serve.batcher import MicroBatcher
@@ -202,12 +202,8 @@ class RecognitionService:
     # -- lifecycle / introspection -------------------------------------
 
     def _artifact_sha256(self) -> str:
-        h = hashlib.sha256()
         assert self.csd_path is not None
-        with open(self.csd_path, "rb") as f:
-            for block in iter(lambda: f.read(1 << 20), b""):
-                h.update(block)
-        return h.hexdigest()
+        return file_sha256(self.csd_path)
 
     def reload(self, if_changed: bool = False) -> Dict[str, object]:
         """Re-read the CSD artifact and swap it in; invalidates the cache.

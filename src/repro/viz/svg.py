@@ -18,6 +18,7 @@ from repro.core.extraction import FineGrainedPattern
 from repro.core.patterns import pattern_time_bucket, route_label
 from repro.data.geojson import _convex_hull
 from repro.geo.projection import LocalProjection
+from repro.ioutil import atomic_write_text
 from repro.types import Float64Array, MetersArray, MetersXY
 
 PathLike = Union[str, Path]
@@ -183,8 +184,8 @@ def render_patterns_svg(
 
 
 def save_svg(path: PathLike, svg: str) -> None:
-    """Write an SVG document produced by the renderers."""
+    """Write an SVG document produced by the renderers, atomically and
+    always UTF-8 (titles carry venue names in any script)."""
     if not svg.lstrip().startswith("<svg"):
         raise ValueError("not an SVG document")
-    with open(path, "w") as f:
-        f.write(svg)
+    atomic_write_text(path, svg)

@@ -153,8 +153,6 @@ class TestAtomicSave:
         """A save that dies at the final rename must leave the previous
         artifact untouched and no tmp debris — the old non-atomic write
         truncated the target before writing, so a crash destroyed it."""
-        import os as os_mod
-
         from repro.runner.fs import SimulatedCrash
 
         path = tmp_path / "csd.json"
@@ -164,9 +162,7 @@ class TestAtomicSave:
         def exploding_replace(src, dst, **kwargs):
             raise SimulatedCrash("power loss at rename")
 
-        monkeypatch.setattr(
-            "repro.data.persistence.os.replace", exploding_replace
-        )
+        monkeypatch.setattr("repro.ioutil.os.replace", exploding_replace)
         with pytest.raises(SimulatedCrash):
             save_csd(path, small_csd)
         monkeypatch.undo()

@@ -2,13 +2,15 @@
 
 A deliberately small, stdlib-only (``ast``) linter that machine-checks
 the invariants the CSR kernel rewrite (PR 1) rests on and that generic
-linters cannot know about.  It runs in three passes: pass 1 checks
+linters cannot know about.  It runs in four passes: pass 1 checks
 each file in isolation, pass 2 (:mod:`tools.reprolint.crossmod`)
 builds a repo-wide symbol table over ``src/repro`` and checks
-contracts between modules, and pass 3
+contracts between modules, pass 3
 (:mod:`tools.reprolint.concurrency`) builds a worker-reachability call
 graph over that symbol table and checks fork/pickle/shared-memory
-safety.
+safety, and pass 4 (:mod:`tools.reprolint.durability`) checks the
+artifact-durability contract — every artifact write in ``src/repro``
+routes through the atomic I/O layer :mod:`repro.ioutil`.
 
 Pass 1 (per file):
 
@@ -77,6 +79,32 @@ RPL016    No ``threading`` primitives or ``ThreadPoolExecutor`` in
           worker-reachable modules (threads + fork deadlock hazard).
 ========  ==============================================================
 
+Pass 4 (artifact durability, per file in ``src/repro``):
+
+========  ==============================================================
+RPL017    No raw ``open(..., "w"/"wb")`` or ``Path.write_text``/
+          ``write_bytes`` outside the sanctioned writers
+          (``repro/ioutil.py``, ``repro/runner/fs.py``) — an in-place
+          rewrite torn by a crash corrupts the artifact; route through
+          ``repro.ioutil.atomic_write_*`` (append mode and the
+          injectable ``fs`` handle are exempt).
+RPL018    Every text-mode ``open()`` pins ``encoding=`` (platform
+          default encoding varies), and csv-using modules also pin
+          ``newline=""``.
+RPL019    Every ``json.dump``/``json.dumps`` passes
+          ``allow_nan=False`` — bare NaN/Infinity is invalid JSON that
+          ``json.load`` accepts but external consumers reject; use
+          ``repro.ioutil.strict_json_dump``.
+RPL020    ``os.replace``/``os.rename``/``shutil.move``/``tempfile``
+          confined to the sanctioned writers — ad-hoc tmp-and-rename
+          dances belong in one audited place.
+RPL021    No broad except-and-swallow (``except Exception: pass`` or
+          ``contextlib.suppress(Exception)``) in the
+          artifact-producing modules (runner, stream, serve,
+          data/persistence, ioutil) — swallowing hides torn-write
+          errors the durability layer is built to surface.
+========  ==============================================================
+
 Suppression: put ``# reprolint: allow-<name>`` on the flagged statement
 (any of its lines; for block statements, the header) or in the comment
 block directly above it — for decorated functions, above the first
@@ -85,14 +113,23 @@ decorator (``allow-lonlat``, ``allow-loop``, ``allow-unordered``,
 ``allow-direct-timing``, ``allow-dtype``, ``allow-metric-name``,
 ``allow-contract``, ``allow-pool``, ``allow-worker-callable``,
 ``allow-attached-write``, ``allow-shm``, ``allow-worker-global``,
-``allow-thread``).  RPL010 anchors in the markdown doc, which has no
-pragma channel — fix the drift instead.
+``allow-thread``, ``allow-raw-open``, ``allow-open-encoding``,
+``allow-lax-json``, ``allow-replace``, ``allow-swallow``).  RPL010
+anchors in the markdown doc, which has no pragma channel — fix the
+drift instead.
 
 Run ``python -m tools.reprolint src/`` from the repository root; see
 ``docs/STATIC_ANALYSIS.md`` for the full rationale of each rule.
 """
 
 from tools.reprolint.concurrency import check_concurrency
+from tools.reprolint.durability import (
+    DURABILITY_RULES,
+    check_durability_file,
+    check_durability_paths,
+    check_durability_source,
+)
+from tools.reprolint.sarif import SARIF_TOOL_VERSION, SARIF_VERSION, to_sarif
 from tools.reprolint.crossmod import (
     ALIAS_DTYPES,
     CONTRACT_MODULES,
@@ -116,11 +153,17 @@ __all__ = [
     "ALIAS_DTYPES",
     "ALL_RULES",
     "CONTRACT_MODULES",
+    "DURABILITY_RULES",
     "Finding",
     "Project",
     "RULE_SEVERITY",
+    "SARIF_TOOL_VERSION",
+    "SARIF_VERSION",
     "build_project",
     "check_concurrency",
+    "check_durability_file",
+    "check_durability_paths",
+    "check_durability_source",
     "check_file",
     "check_paths",
     "check_project",
@@ -128,4 +171,5 @@ __all__ = [
     "is_suppressed",
     "iter_python_files",
     "load_project",
+    "to_sarif",
 ]

@@ -1,12 +1,13 @@
 """Command-line entry point: ``python -m tools.reprolint [paths...]``.
 
-Runs all three analysis passes: pass 1 lints each file in isolation,
+Runs all four analysis passes: pass 1 lints each file in isolation,
 pass 2 builds a repo-wide symbol table over the ``repro`` package files
 in the lint set and checks cross-module contracts (RPL008–RPL010,
 including the ``docs/OBSERVABILITY.md`` drift gate when the doc is
-present), and pass 3 builds a worker-reachability call graph over the
+present), pass 3 builds a worker-reachability call graph over the
 same symbol table and checks the concurrency-safety rules
-(RPL012–RPL016).
+(RPL012–RPL016), and pass 4 checks the artifact-durability rules
+(RPL017–RPL021) per file.
 
 Exit status (documented in ``docs/STATIC_ANALYSIS.md``):
 
@@ -26,6 +27,10 @@ Schema history: version 1 (unversioned, PR 5) was
 version 2 adds the ``schema``/``fail_on`` keys and per-finding
 ``severity``.  Consumers should reject documents whose ``schema`` they
 do not know.
+
+``--format sarif`` emits a SARIF 2.1.0 document instead (the schema
+GitHub code scanning ingests; see :mod:`tools.reprolint.sarif`), with
+the same exit-code contract.
 """
 
 from __future__ import annotations
@@ -38,7 +43,9 @@ from typing import List, Optional, Sequence
 
 from tools.reprolint.concurrency import check_concurrency
 from tools.reprolint.crossmod import check_project, load_project
+from tools.reprolint.durability import check_durability_paths
 from tools.reprolint.rules import ALL_RULES, RULE_SEVERITY, check_paths
+from tools.reprolint.sarif import to_sarif
 
 #: JSON output schema version.  Bump on any structural change.
 JSON_SCHEMA_VERSION = 2
@@ -60,9 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); sarif emits a SARIF "
+        "2.1.0 document for GitHub code scanning",
     )
     parser.add_argument(
         "--select",
@@ -89,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-concurrency",
         action="store_true",
         help="skip pass 3 (concurrency-safety rules RPL012-RPL016)",
+    )
+    parser.add_argument(
+        "--no-durability",
+        action="store_true",
+        help="skip pass 4 (artifact-durability rules RPL017-RPL021)",
     )
     parser.add_argument(
         "--obs-docs",
@@ -137,13 +150,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         findings.extend(check_project(project, select=select, obs_doc=obs_doc))
     if not args.no_concurrency and project is not None and project.modules:
         findings.extend(check_concurrency(project, select=select))
+    if not args.no_durability:
+        findings.extend(check_durability_paths(args.paths, select=select))
     threshold = _SEVERITY_RANK[args.fail_on]
     failing = [
         f
         for f in findings
         if _SEVERITY_RANK[RULE_SEVERITY.get(f.rule, "error")] >= threshold
     ]
-    if args.format == "json":
+    if args.format == "sarif":
+        print(json.dumps(to_sarif(findings), indent=2))
+    elif args.format == "json":
         payload = {
             "schema": JSON_SCHEMA_VERSION,
             "count": len(findings),

@@ -104,6 +104,37 @@ ALL_RULES: Dict[str, Tuple[str, str]] = {
         "worker-reachable module (threads + fork deadlock hazard; "
         "concurrency pass)",
     ),
+    "RPL017": (
+        "allow-raw-open",
+        "raw open() for writing in src/repro outside repro.ioutil / "
+        "runner/fs.py (a torn write becomes a torn artifact; route "
+        "through ioutil.atomic_write_*; durability pass)",
+    ),
+    "RPL018": (
+        "allow-open-encoding",
+        "text-mode open() in src/repro without an explicit encoding= "
+        "(platform-default codec mangles non-ASCII; csv files also "
+        "need newline=''; durability pass)",
+    ),
+    "RPL019": (
+        "allow-lax-json",
+        "json.dump/dumps in src/repro without allow_nan=False (NaN/inf "
+        "serialise as non-standard tokens other parsers reject; use "
+        "ioutil.strict_json_dump; durability pass)",
+    ),
+    "RPL020": (
+        "allow-replace",
+        "os.replace/os.rename/shutil.move or tempfile use in src/repro "
+        "outside repro.ioutil / runner/fs.py (atomic-rename protocol "
+        "is centralised in ioutil; durability pass)",
+    ),
+    "RPL021": (
+        "allow-swallow",
+        "broad except-and-swallow (except Exception/BaseException/"
+        "bare: pass|continue) in an artifact-producing module — "
+        "runner, stream, serve, data/persistence, ioutil — hides "
+        "torn-write errors (durability pass)",
+    ),
 }
 
 #: rule id -> severity (``--fail-on`` threshold in the CLI).  Every
